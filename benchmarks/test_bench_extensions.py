@@ -1,0 +1,25 @@
+"""EXT-2/3/4: extension experiments (ablation, scale-out, diurnal)."""
+
+from repro.experiments import ablation, diurnal, scaleout
+
+
+def test_bench_ablation(benchmark, bench_once):
+    result = bench_once(benchmark, ablation.run, method="analytic")
+    print("\n" + result.render())
+    contributions = result.data["contributions"]
+    assert max(contributions, key=contributions.get) == "N2-no-embedded"
+
+
+def test_bench_scaleout(benchmark, bench_once):
+    result = bench_once(benchmark, scaleout.run)
+    print("\n" + result.render())
+    eq = result.data["equivalence"]
+    assert eq["websearch"]["overhead_ratio"] > eq["websearch"]["naive_ratio"]
+    for key, values in result.data["cluster"].items():
+        assert values["aggregation"] > 0.85, key
+
+
+def test_bench_diurnal(benchmark):
+    result = benchmark(diurnal.run)
+    print("\n" + result.render())
+    assert all(v["savings"] > 0 for v in result.data.values())

@@ -1,0 +1,16 @@
+"""E2/E3: regenerate Figure 1 (cost model and srvr2 TCO breakdown).
+
+Paper rows: srvr1 total $5,758 (3-yr P&C $2,464); srvr2 total $3,249
+(P&C $1,561); srvr2 pie led by CPU HW ~20% and CPU P&C ~22%.
+"""
+
+import pytest
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark):
+    result = benchmark(figure1.run)
+    print("\n" + result.render())
+    assert result.data["srvr1_total"] == pytest.approx(5758, abs=10)
+    assert result.data["srvr2_total"] == pytest.approx(3249, abs=10)

@@ -1,0 +1,19 @@
+"""E7: regenerate Figure 3 (cooling architectures).
+
+Paper claims: ~2x cooling efficiency and 320 systems/rack for dual-entry;
+~4x and 1250 systems/rack for aggregated microblades; heat pipes at 3x
+copper conductivity.
+"""
+
+import pytest
+
+from repro.experiments import figure3
+
+
+def test_bench_figure3(benchmark):
+    result = benchmark(figure3.run)
+    print("\n" + result.render())
+    assert result.data["dual-entry"]["cooling_efficiency"] == pytest.approx(2.0, abs=0.5)
+    assert result.data["aggregated-microblade"]["cooling_efficiency"] == pytest.approx(
+        4.0, abs=0.6
+    )

@@ -1,0 +1,20 @@
+"""E8/E9: regenerate Figure 4 (memory-sharing slowdowns + provisioning).
+
+Paper rows at 25% local / random / PCIe x4 (4 us): websearch 4.7%,
+webmail 0.1%, ytube 1.4%, mapred-wc 0.2%, mapred-wr 0.7%; provisioning:
+static 102%/116%/108%, dynamic 106%/116%/111%.
+"""
+
+import pytest
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(benchmark, bench_once):
+    result = bench_once(benchmark, figure4.run)
+    print("\n" + result.render())
+    slowdowns = result.data["slowdowns"][0.25]
+    assert slowdowns["websearch"]["pcie"] == pytest.approx(0.047, abs=0.015)
+    assert slowdowns["webmail"]["pcie"] < 0.005
+    prov = result.data["provisioning"]
+    assert prov["dynamic"]["perf_per_tco"] == pytest.approx(1.11, abs=0.05)

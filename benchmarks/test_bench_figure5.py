@@ -1,0 +1,18 @@
+"""E12/E13: regenerate Figure 5 (unified designs N1 and N2).
+
+Paper headline: 1.5x (N1) to 2x (N2) average Perf/TCO-$; 2-3.5x (N1) and
+3.5-6x (N2) on ytube/mapreduce; webmail degradation; similar gains vs
+srvr2/desk baselines.
+"""
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5_sim(benchmark, bench_once):
+    result = bench_once(benchmark, figure5.run, method="sim")
+    print("\n" + result.render())
+    tco = result.data["vs_srvr1"]["Perf/TCO-$"]
+    assert tco.hmean("N1") > 1.25
+    assert tco.hmean("N2") > 1.35
+    for bench in ("ytube", "mapred-wc", "mapred-wr"):
+        assert tco.value(bench, "N2") > 3.0

@@ -1,0 +1,17 @@
+"""EXT-1: activity-factor and tariff sensitivity sweeps (section 2.2).
+
+The paper reports both knobs leave the conclusions qualitatively
+unchanged; the bench verifies desk and emb1 keep their Perf/TCO-$
+advantage over srvr1 at every setting.
+"""
+
+from repro.experiments import sensitivity
+
+
+def test_bench_sensitivity(benchmark, bench_once):
+    result = bench_once(benchmark, sensitivity.run, method="analytic")
+    print("\n" + result.render())
+    for advantages in result.data["activity"].values():
+        assert advantages["desk"] > 1.0
+    for advantages in result.data["tariff"].values():
+        assert advantages["desk"] > 1.0

@@ -1,0 +1,11 @@
+"""E1: regenerate Table 1 (benchmark-suite summary)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(table1.run)
+    print("\n" + result.render())
+    assert set(result.data) == {
+        "websearch", "webmail", "ytube", "mapred-wc", "mapred-wr",
+    }

@@ -1,0 +1,12 @@
+"""E4: regenerate Table 2 (the six systems)."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(table2.run)
+    print("\n" + result.render())
+    assert result.data["srvr1"]["watt"] == 340
+    assert result.data["emb2"]["inf_usd"] == pytest.approx(379, abs=1)

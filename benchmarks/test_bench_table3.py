@@ -1,0 +1,18 @@
+"""E10/E11: regenerate Table 3 (flash disk caches with low-power disks).
+
+Paper rows (Perf/Inf-$ / Perf/W / Perf/TCO-$): remote laptop 93/100/96,
++flash 99/109/104, laptop-2+flash 110/109/110.
+"""
+
+from repro.experiments import table3
+
+
+def test_bench_table3_sim(benchmark, bench_once):
+    result = bench_once(benchmark, table3.run, method="sim")
+    print("\n" + result.render())
+    eff = result.data["efficiencies"]
+    assert eff["remote-laptop"]["perf_per_inf"] < 1.0
+    assert eff["remote-laptop+flash"]["perf_per_tco"] > eff["remote-laptop"][
+        "perf_per_tco"
+    ]
+    assert eff["remote-laptop2+flash"]["perf_per_tco"] > 1.0

@@ -1,0 +1,23 @@
+"""VAL-1 and EXT-5/6: validation report, future composition, power check."""
+
+from repro.experiments import future, power_accounting, validation
+
+
+def test_bench_validation_report(benchmark, bench_once):
+    result = bench_once(benchmark, validation.run)
+    print("\n" + result.render())
+    # Every compared block produced deltas.
+    assert all(result.data.values())
+
+
+def test_bench_future_composition(benchmark, bench_once):
+    result = bench_once(benchmark, future.run, method="analytic")
+    print("\n" + result.render())
+    assert result.data["N3-memlean"] > result.data["N2"]
+
+
+def test_bench_power_accounting(benchmark, bench_once):
+    result = bench_once(benchmark, power_accounting.run)
+    print("\n" + result.render())
+    factors = [f for vals in result.data.values() for f in vals.values()]
+    assert min(factors) > 0.4 and max(factors) <= 1.0

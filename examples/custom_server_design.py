@@ -1,0 +1,49 @@
+"""Design your own server: compose packaging, memory, and disk options.
+
+The N1/N2 designs are just two points in the design space this library
+exposes.  This example composes a third, "N1.5": desktop-class blades in
+dual-entry enclosures with flash-cached remote disks but no memory
+sharing, and evaluates it against srvr1, N1, and N2 on the full suite.
+
+Run:  python examples/custom_server_design.py
+"""
+
+from repro.cooling import DUAL_ENTRY_ENCLOSURE
+from repro.core.analysis import evaluate_designs
+from repro.core.designs import UnifiedDesign, baseline_design, n1_design, n2_design
+from repro.flashcache import disk_configuration
+from repro.workloads import benchmark_names
+
+
+def make_n15() -> UnifiedDesign:
+    """Desktop blades + dual-entry cooling + flash-cached SAN disks."""
+    return UnifiedDesign(
+        name="N1.5",
+        platform_name="desk",
+        enclosure=DUAL_ENTRY_ENCLOSURE,
+        memory_scheme=None,
+        disk_config=disk_configuration("remote-laptop+flash"),
+        description="desktop blades, dual-entry enclosure, flash-cached SAN",
+    )
+
+
+def main() -> None:
+    designs = [baseline_design("srvr1"), n1_design(), make_n15(), n2_design()]
+    evaluation = evaluate_designs(
+        designs, benchmark_names(), baseline="srvr1", method="sim"
+    )
+
+    print("Custom design study (all values relative to srvr1)\n")
+    for metric in ("Perf/Inf-$", "Perf/W", "Perf/TCO-$"):
+        print(evaluation.table(metric).render())
+        print()
+
+    tco = evaluation.table("Perf/TCO-$")
+    ranked = sorted(evaluation.designs, key=tco.hmean, reverse=True)
+    print("Perf/TCO-$ ranking (harmonic mean):")
+    for name in ranked:
+        print(f"  {name:<6} {tco.hmean(name) * 100:6.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Memory-blade sizing: how much local memory does a workload need?
+
+Sweeps the local-memory fraction for each benchmark's page-access trace
+(paper section 3.4's experiment, generalized to a full sweep), reporting
+the remote-miss rate and the execution-time slowdown for both the PCIe x4
+page transfer and the critical-block-first (CBF) optimization.  The
+"knee" of the curve tells an operator how small the local DRAM can go
+before remote paging starts to hurt.
+
+Run:  python examples/memory_blade_sizing.py
+"""
+
+from repro.memsim import (
+    CBF_PAGE_LATENCY_US,
+    PCIE_X4_PAGE_LATENCY_US,
+    TwoLevelMemorySimulator,
+    WORKLOAD_TRACES,
+)
+
+LOCAL_FRACTIONS = (0.0625, 0.125, 0.25, 0.5)
+#: Shorter traces keep the example quick; see tests for full-length runs.
+TRACE_LENGTH = 200_000
+
+
+def main() -> None:
+    for name, spec in WORKLOAD_TRACES.items():
+        print(f"\n{name} (footprint {spec.footprint_pages * 4 // 1024} MB, "
+              f"{spec.touches_per_ms:.0f} page-touches/ms)")
+        print(f"  {'local':>7} {'miss rate':>10} {'PCIe 4us':>10} {'CBF 0.75us':>11}")
+        knee = None
+        for fraction in LOCAL_FRACTIONS:
+            sim = TwoLevelMemorySimulator(spec, fraction, policy="random")
+            stats = sim.run(TRACE_LENGTH)
+            pcie = sim.spec.touches_per_ms * stats.miss_rate * (
+                PCIE_X4_PAGE_LATENCY_US / 1000.0
+            )
+            cbf = sim.spec.touches_per_ms * stats.miss_rate * (
+                CBF_PAGE_LATENCY_US / 1000.0
+            )
+            print(f"  {fraction:>6.1%} {stats.miss_rate:>10.1%} "
+                  f"{pcie:>10.2%} {cbf:>11.2%}")
+            if knee is None and pcie < 0.02:
+                knee = fraction
+        if knee is not None:
+            print(f"  -> {knee:.1%} local memory keeps the PCIe slowdown "
+                  f"under 2% (the paper's planning threshold)")
+        else:
+            print("  -> needs more than 50% local memory for <2% slowdown")
+
+
+if __name__ == "__main__":
+    main()

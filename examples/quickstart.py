@@ -1,0 +1,52 @@
+"""Quickstart: score one server on one benchmark, the paper's way.
+
+Builds the Table 2 ``emb1`` embedded platform, runs the websearch
+benchmark through the discrete-event simulator with the adaptive
+QoS-constrained client driver, prices the server with the burdened
+TCO model, and prints all four paper metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.costmodel import SERVER_BILLS, TcoModel, PowerModel
+from repro.core.metrics import EfficiencyMetrics
+from repro.platforms import platform
+from repro.simulator import measure_performance
+from repro.workloads import make_workload
+
+
+def main() -> None:
+    system = "emb1"
+    bench = "websearch"
+
+    # 1. Performance: max requests/second under the paper's QoS
+    #    (>95% of queries within 0.5 s), found by the adaptive driver.
+    plat = platform(system)
+    workload = make_workload(bench)
+    perf = measure_performance(plat, workload)
+    print(f"{system} running {bench}:")
+    print(f"  sustained throughput : {perf.throughput_rps:8.1f} req/s "
+          f"(QoS {'met' if perf.qos_met else 'VIOLATED'})")
+
+    # 2. Cost: hardware + burdened 3-year power & cooling.
+    tco = TcoModel().breakdown(SERVER_BILLS[system])
+    print(f"  hardware (infra)     : ${tco.hardware_total_usd:8,.0f}")
+    print(f"  3-yr power & cooling : ${tco.power_cooling_total_usd:8,.0f}")
+    print(f"  total (TCO)          : ${tco.total_usd:8,.0f}")
+
+    # 3. The paper's efficiency metrics.
+    metrics = EfficiencyMetrics(
+        system=system,
+        benchmark=bench,
+        performance=perf.score,
+        power_w=PowerModel().server_consumed_w(SERVER_BILLS[system]),
+        infrastructure_usd=tco.hardware_total_usd,
+        power_cooling_usd=tco.power_cooling_total_usd,
+    )
+    print(f"  Perf/W               : {metrics.perf_per_watt:8.3f} req/s/W")
+    print(f"  Perf/Inf-$           : {metrics.perf_per_inf_usd:8.4f} req/s/$")
+    print(f"  Perf/TCO-$           : {metrics.perf_per_tco_usd:8.4f} req/s/$")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim for editable installs in offline environments without `wheel`."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Cluster/ensemble-level models (paper section 4 extensions).
+
+The paper's evaluation scores single servers and assumes cluster
+performance is the aggregation of single-machine results, flagging three
+open issues in section 4 that this package addresses:
+
+- :mod:`~repro.cluster.scaleout` -- Amdahl's-law limits on scale-out:
+  serial work, per-server networking overhead, and data-structure
+  inflation bound how far a workload can be partitioned, biasing against
+  very small platforms.
+- :mod:`~repro.cluster.balancer` -- a multi-server cluster simulation
+  (load balancer in front of N simulated servers) used to validate the
+  aggregation assumption and to measure cluster-level tail latency.
+- :mod:`~repro.cluster.diurnal` -- time-of-day request distributions
+  (the paper studies only sustained load) and the ensemble-level
+  provisioning/energy questions they raise.
+"""
+
+from repro.cluster.scaleout import ScaleOutModel, amdahl_speedup
+from repro.cluster.balancer import ClusterSimulator, ClusterResult, Dispatch
+from repro.cluster.diurnal import DiurnalLoadModel, EnsembleEnergyModel
+from repro.cluster.heterogeneous import FleetOptimizer, FleetPlan, ServiceAssignment
+
+__all__ = [
+    "ScaleOutModel",
+    "amdahl_speedup",
+    "ClusterSimulator",
+    "ClusterResult",
+    "Dispatch",
+    "DiurnalLoadModel",
+    "EnsembleEnergyModel",
+    "FleetOptimizer",
+    "FleetPlan",
+    "ServiceAssignment",
+]

@@ -1,0 +1,285 @@
+"""Multi-server cluster simulation with a front-end load balancer.
+
+Validates the paper's simplifying assumption that "cluster-level
+performance can be approximated by the aggregation of single-machine
+benchmarks" (section 4, Metrics & models): a cluster of ``n`` simulated
+servers behind a dispatcher should sustain close to ``n`` times the
+single-server QoS-constrained throughput, with round-robin slightly worse
+than least-outstanding dispatch at the tail.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.memsim.remote_memory import RemoteMemoryModel
+from repro.platforms.platform import Platform
+from repro.simulator.engine import Simulation
+from repro.simulator.resources import Resource
+from repro.simulator.server_sim import DiskModel, PlatformDiskModel
+from repro.workloads.base import Workload
+from repro.workloads.qos import QosTracker
+
+
+class Dispatch(enum.Enum):
+    """Load-balancer policy."""
+
+    ROUND_ROBIN = "round-robin"
+    LEAST_OUTSTANDING = "least-outstanding"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class ClusterResult:
+    """Aggregate measurements of one cluster run."""
+
+    servers: int
+    throughput_rps: float
+    mean_response_ms: float
+    qos_percentile_ms: float
+    qos_met: bool
+    per_server_rps: float
+    #: Completions per server (dispatch balance check).
+    server_completions: List[int]
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean completions across servers (1.0 = perfectly even)."""
+        mean = sum(self.server_completions) / len(self.server_completions)
+        return max(self.server_completions) / mean if mean else 1.0
+
+
+class _Server:
+    """One server's resources inside the cluster simulation."""
+
+    def __init__(self, sim: Simulation, platform: Platform, disk_model: DiskModel):
+        self.cpu = Resource(sim, "cpu", platform.cpu.total_cores)
+        self.mem = Resource(sim, "mem", platform.memory.channels)
+        self.disk = Resource(sim, "disk", 1)
+        self.nic = Resource(sim, "nic", 1)
+        self.disk_model = disk_model
+        self.outstanding = 0
+        self.completions = 0
+        self.up = True
+
+
+class ClusterSimulator:
+    """N identical servers behind a load balancer, closed client pool."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        workload: Workload,
+        servers: int,
+        clients_per_server: int,
+        dispatch: Dispatch = Dispatch.LEAST_OUTSTANDING,
+        seed: int = 1,
+        warmup_requests: int = 500,
+        measure_requests: int = 4000,
+        disk_model_factory=None,
+        failures: Optional[Dict[int, float]] = None,
+        recoveries: Optional[Dict[int, float]] = None,
+        remote_memory: Optional[RemoteMemoryModel] = None,
+    ):
+        """``remote_memory`` attaches a shared memory blade: every request
+        pays its expected remote-miss traffic on one blade-controller link
+        shared by ALL servers in the cluster (the PCIe-contention effect
+        the paper's trace methodology could not capture), plus the
+        per-miss trap-handler CPU time on its own server.
+
+        ``failures`` maps a server index to the simulated time (ms) at
+        which it crashes; the balancer stops dispatching to it (requests
+        already in flight complete -- the paper's software stack handles
+        retry/replication above this level).  ``recoveries`` maps a
+        server index to the time it comes back into rotation.  Failing
+        every server (without recovery) is rejected."""
+        if servers <= 0 or clients_per_server <= 0:
+            raise ValueError("servers and clients_per_server must be positive")
+        if failures:
+            bad = [i for i in failures if not 0 <= i < servers]
+            if bad:
+                raise ValueError(f"failure indices out of range: {bad}")
+            if len(failures) >= servers and not recoveries:
+                raise ValueError("cannot fail every server")
+            if any(t < 0 for t in failures.values()):
+                raise ValueError("failure times must be >= 0")
+        if recoveries:
+            bad = [i for i in recoveries if not 0 <= i < servers]
+            if bad:
+                raise ValueError(f"recovery indices out of range: {bad}")
+            for index, at_ms in recoveries.items():
+                if failures is None or index not in failures:
+                    raise ValueError(
+                        f"server {index} has a recovery but no failure"
+                    )
+                if at_ms <= failures[index]:
+                    raise ValueError(
+                        f"server {index} recovery must follow its failure"
+                    )
+        self._platform = platform
+        self._workload = workload
+        self._servers = servers
+        self._clients = clients_per_server * servers
+        self._dispatch = dispatch
+        self._seed = seed
+        self._warmup = warmup_requests
+        self._measure = measure_requests
+        self._disk_model_factory = disk_model_factory or (
+            lambda: PlatformDiskModel(platform)
+        )
+        self._failures = dict(failures or {})
+        self._recoveries = dict(recoveries or {})
+        self._remote_memory = remote_memory
+
+    def _pick(
+        self, servers: List[_Server], rr_state: Dict[str, int],
+        rng: random.Random,
+    ) -> _Server:
+        if self._dispatch is Dispatch.ROUND_ROBIN:
+            index = rr_state["next"]
+            rr_state["next"] = (index + 1) % len(servers)
+            return servers[index]
+        # Least-outstanding with random tie-breaking (a deterministic
+        # tie-break would systematically favour low-index servers).
+        least = min(s.outstanding for s in servers)
+        candidates = [s for s in servers if s.outstanding == least]
+        return candidates[rng.randrange(len(candidates))]
+
+    @staticmethod
+    def _alive(servers: List[_Server]) -> List[_Server]:
+        return [s for s in servers if s.up]
+
+    def run(self) -> ClusterResult:
+        sim = Simulation()
+        rng = random.Random(self._seed)
+        platform = self._platform
+        profile = self._workload.profile
+        servers = [
+            _Server(sim, platform, self._disk_model_factory())
+            for _ in range(self._servers)
+        ]
+        rr_state = {"next": 0}
+        blade = (
+            Resource(sim, "blade", 1) if self._remote_memory is not None else None
+        )
+        for index, at_ms in self._failures.items():
+            def crash(i=index) -> None:
+                servers[i].up = False
+            sim.schedule(at_ms, crash)
+        for index, at_ms in self._recoveries.items():
+            def recover(i=index) -> None:
+                servers[i].up = True
+            sim.schedule(at_ms, recover)
+
+        qos = QosTracker(profile.qos) if profile.qos else None
+        responses: List[float] = []
+        state = {"completions": 0, "t0": 0.0, "t1": 0.0, "done": False}
+
+        def client_loop() -> None:
+            if state["done"]:
+                return
+            think = (
+                rng.expovariate(1.0 / profile.think_time_ms)
+                if profile.think_time_ms > 0
+                else 0.0
+            )
+            sim.schedule(think, issue)
+
+        def issue() -> None:
+            if state["done"]:
+                return
+            request = self._workload.sample(rng)
+            demand = request.demand
+            alive = self._alive(servers)
+            server = self._pick(alive, rr_state, rng)
+            server.outstanding += 1
+            start = sim.now
+
+            cpu_ms = platform.cpu_time_ms(
+                demand.cpu_ms_ref,
+                profile.cache_sensitivity,
+                profile.inorder_ipc_factor,
+                profile.stall_fraction,
+            )
+            blade_ms = 0.0
+            if self._remote_memory is not None:
+                cpu_ms += self._remote_memory.trap_cpu_ms(demand)
+                blade_ms = self._remote_memory.link_time_ms(demand)
+            mem_ms = platform.memory_channel_time_ms(demand.mem_ms_ref)
+            disk_ms = server.disk_model.service_ms(demand, rng)
+            net_ms = platform.net_time_ms(demand.net_bytes)
+
+            def done() -> None:
+                server.outstanding -= 1
+                server.completions += 1
+                _complete(start)
+
+            def after_disk() -> None:
+                server.nic.acquire(net_ms, done)
+
+            def after_blade() -> None:
+                server.disk.acquire(disk_ms, after_disk)
+
+            def after_mem() -> None:
+                if blade is not None and blade_ms > 0:
+                    blade.acquire(blade_ms, after_blade)
+                else:
+                    after_blade()
+
+            def after_cpu() -> None:
+                server.mem.acquire(mem_ms, after_mem)
+
+            slices = max(1, min(platform.cpu.total_cores, demand.cpu_parallelism))
+            if slices == 1:
+                server.cpu.acquire(cpu_ms, after_cpu)
+            else:
+                join = {"left": slices}
+
+                def slice_done() -> None:
+                    join["left"] -= 1
+                    if join["left"] == 0:
+                        after_cpu()
+
+                for _ in range(slices):
+                    server.cpu.acquire(cpu_ms / slices, slice_done)
+
+        def _complete(start_ms: float) -> None:
+            state["completions"] += 1
+            if state["completions"] == self._warmup:
+                state["t0"] = sim.now
+            elif state["completions"] > self._warmup and not state["done"]:
+                response = sim.now - start_ms
+                responses.append(response)
+                if qos is not None:
+                    qos.record(response)
+                if state["completions"] >= self._warmup + self._measure:
+                    state["done"] = True
+                    state["t1"] = sim.now
+                    sim.stop()
+                    return
+            client_loop()
+
+        for _ in range(self._clients):
+            client_loop()
+        sim.run()
+
+        if not state["done"]:
+            raise RuntimeError("cluster simulation ended before measurement")
+        window_s = max(state["t1"] - state["t0"], 1e-9) / 1000.0
+        throughput = len(responses) / window_s
+        return ClusterResult(
+            servers=self._servers,
+            throughput_rps=throughput,
+            mean_response_ms=sum(responses) / len(responses),
+            qos_percentile_ms=(
+                qos.percentile_ms() if qos and qos.count else 0.0
+            ),
+            qos_met=qos.satisfied() if qos else True,
+            per_server_rps=throughput / self._servers,
+            server_completions=[s.completions for s in servers],
+        )

@@ -1,0 +1,114 @@
+"""Time-of-day load and ensemble energy (paper section 4 caveat).
+
+The paper notes that real deployments see diurnal request distributions
+(citing Fan et al.) while its study uses sustained load only.  This
+module supplies the missing piece:
+
+- :class:`DiurnalLoadModel`: a day-long load profile -- a sinusoid with a
+  configurable peak-to-trough ratio plus optional weekday modulation --
+  normalized so its *peak* equals 1.0 (fleets are provisioned for peak).
+- :class:`EnsembleEnergyModel`: converts the profile plus a fleet size
+  into daily energy, with an idle-power fraction (servers rarely idle at
+  zero watts; Fan et al. report ~50-60% of peak at idle) and an optional
+  ensemble power-management mode that parks idle servers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class DiurnalLoadModel:
+    """Normalized load profile over a 24-hour day."""
+
+    peak_to_trough: float = 3.0
+    peak_hour: float = 20.0  # evening peak, typical for consumer services
+    weekend_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.peak_to_trough < 1.0:
+            raise ValueError("peak-to-trough ratio must be >= 1")
+        if not 0 <= self.peak_hour < 24:
+            raise ValueError("peak hour must be in [0, 24)")
+        if not 0 < self.weekend_factor <= 1.0:
+            raise ValueError("weekend factor must be in (0, 1]")
+
+    def load_at(self, hour: float) -> float:
+        """Relative load in [trough/peak, 1] at a given hour of day."""
+        trough = 1.0 / self.peak_to_trough
+        mid = (1.0 + trough) / 2.0
+        amplitude = (1.0 - trough) / 2.0
+        phase = 2.0 * math.pi * (hour - self.peak_hour) / 24.0
+        return mid + amplitude * math.cos(phase)
+
+    def hourly_profile(self) -> List[float]:
+        """24 hourly load samples (midpoints)."""
+        return [self.load_at(h + 0.5) for h in range(24)]
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average load relative to peak over the day."""
+        profile = self.hourly_profile()
+        return sum(profile) / len(profile)
+
+
+@dataclass(frozen=True)
+class EnsembleEnergyModel:
+    """Daily fleet energy under a diurnal profile.
+
+    ``idle_power_fraction``: power at zero load relative to peak power
+    (per server); power scales linearly with load between idle and peak.
+    ``parkable_fraction``: with ensemble power management, the share of
+    the fleet that can be fully powered off at the daily trough (ramping
+    linearly with load headroom).
+    """
+
+    peak_power_w: float
+    idle_power_fraction: float = 0.6
+    parkable_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_power_w <= 0:
+            raise ValueError("peak power must be positive")
+        if not 0 <= self.idle_power_fraction <= 1:
+            raise ValueError("idle power fraction must be in [0, 1]")
+        if not 0 <= self.parkable_fraction < 1:
+            raise ValueError("parkable fraction must be in [0, 1)")
+
+    def server_power_w(self, load: float) -> float:
+        """One active server's draw at a given relative load."""
+        if not 0 <= load <= 1:
+            raise ValueError("load must be in [0, 1]")
+        idle = self.idle_power_fraction * self.peak_power_w
+        return idle + (self.peak_power_w - idle) * load
+
+    def fleet_power_w(self, servers: int, load: float) -> float:
+        """Fleet draw at a given relative load, with optional parking."""
+        if servers <= 0:
+            raise ValueError("fleet must have servers")
+        if self.parkable_fraction <= 0:
+            return servers * self.server_power_w(load)
+        # Park up to parkable_fraction of servers as load drops; the
+        # remaining servers run proportionally hotter.
+        parked = self.parkable_fraction * (1.0 - load) * servers
+        active = max(servers - parked, servers * (1 - self.parkable_fraction))
+        per_server_load = min(1.0, load * servers / active)
+        return active * self.server_power_w(per_server_load)
+
+    def daily_energy_kwh(self, servers: int, profile: DiurnalLoadModel) -> float:
+        """Fleet energy over one day, kWh."""
+        total_w_hours = sum(
+            self.fleet_power_w(servers, load) for load in profile.hourly_profile()
+        )
+        return total_w_hours / 1000.0
+
+    def parking_savings(self, servers: int, profile: DiurnalLoadModel) -> float:
+        """Fractional daily-energy saving from ensemble parking."""
+        baseline = EnsembleEnergyModel(
+            self.peak_power_w, self.idle_power_fraction, 0.0
+        ).daily_energy_kwh(servers, profile)
+        managed = self.daily_energy_kwh(servers, profile)
+        return 1.0 - managed / baseline

@@ -1,0 +1,152 @@
+"""Workload-aware heterogeneous fleets (an extension the data begs for).
+
+Figure 2(c) shows no single platform wins everywhere: webmail prefers
+big cores, ytube and mapreduce prefer embedded, websearch sits between.
+A datacenter running a *mix* of services can therefore beat any
+homogeneous fleet by assigning each service to its best Perf/TCO-$
+platform.
+
+:class:`FleetOptimizer` does that arithmetic: given per-(platform,
+service) throughputs, per-platform TCO, and a demand vector (aggregate
+RPS per service), it sizes
+
+- the best homogeneous fleet (one platform for everything), and
+- the heterogeneous fleet (each service on its cheapest platform),
+
+and reports the cost of forcing homogeneity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+
+@dataclass(frozen=True)
+class ServiceAssignment:
+    """One service placed on one platform."""
+
+    service: str
+    platform: str
+    servers: int
+    fleet_cost_usd: float
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """A complete placement of every service."""
+
+    label: str
+    assignments: List[ServiceAssignment]
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(a.fleet_cost_usd for a in self.assignments)
+
+    @property
+    def total_servers(self) -> int:
+        return sum(a.servers for a in self.assignments)
+
+    def platform_of(self, service: str) -> str:
+        for assignment in self.assignments:
+            if assignment.service == service:
+                return assignment.platform
+        raise KeyError(f"service {service!r} not in plan")
+
+
+class FleetOptimizer:
+    """Sizes homogeneous and heterogeneous fleets for a service mix."""
+
+    def __init__(
+        self,
+        throughput_rps: Mapping[str, Mapping[str, float]],
+        tco_usd: Mapping[str, float],
+    ):
+        """``throughput_rps`` maps service -> platform -> per-server RPS;
+        ``tco_usd`` maps platform -> per-server TCO."""
+        if not throughput_rps:
+            raise ValueError("need at least one service")
+        platforms = None
+        for service, per_platform in throughput_rps.items():
+            names = set(per_platform)
+            if platforms is None:
+                platforms = names
+            elif names != platforms:
+                raise ValueError(
+                    f"service {service!r} has a different platform set"
+                )
+            if any(v <= 0 for v in per_platform.values()):
+                raise ValueError(f"throughputs for {service!r} must be positive")
+        assert platforms is not None
+        missing = platforms - set(tco_usd)
+        if missing:
+            raise ValueError(f"missing TCO for platforms: {sorted(missing)}")
+        if any(v <= 0 for v in tco_usd.values()):
+            raise ValueError("TCO values must be positive")
+        self._throughput = {s: dict(p) for s, p in throughput_rps.items()}
+        self._tco = dict(tco_usd)
+        self._platforms = sorted(platforms)
+
+    def _assignment(
+        self, service: str, platform: str, demand_rps: float
+    ) -> ServiceAssignment:
+        servers = math.ceil(demand_rps / self._throughput[service][platform])
+        return ServiceAssignment(
+            service=service,
+            platform=platform,
+            servers=servers,
+            fleet_cost_usd=servers * self._tco[platform],
+        )
+
+    def homogeneous_plan(
+        self, platform: str, demand_rps: Mapping[str, float]
+    ) -> FleetPlan:
+        """Every service on one platform."""
+        self._check_demand(demand_rps)
+        if platform not in self._platforms:
+            raise KeyError(f"unknown platform {platform!r}")
+        return FleetPlan(
+            label=f"homogeneous-{platform}",
+            assignments=[
+                self._assignment(service, platform, rps)
+                for service, rps in demand_rps.items()
+            ],
+        )
+
+    def best_homogeneous_plan(self, demand_rps: Mapping[str, float]) -> FleetPlan:
+        """The cheapest single-platform fleet."""
+        plans = [
+            self.homogeneous_plan(platform, demand_rps)
+            for platform in self._platforms
+        ]
+        return min(plans, key=lambda p: p.total_cost_usd)
+
+    def heterogeneous_plan(self, demand_rps: Mapping[str, float]) -> FleetPlan:
+        """Each service on its individually cheapest platform."""
+        self._check_demand(demand_rps)
+        assignments = []
+        for service, rps in demand_rps.items():
+            best = min(
+                (
+                    self._assignment(service, platform, rps)
+                    for platform in self._platforms
+                ),
+                key=lambda a: a.fleet_cost_usd,
+            )
+            assignments.append(best)
+        return FleetPlan(label="heterogeneous", assignments=assignments)
+
+    def homogeneity_premium(self, demand_rps: Mapping[str, float]) -> float:
+        """Fractional extra cost of the best homogeneous fleet over the
+        heterogeneous one (0 = mixing buys nothing)."""
+        hetero = self.heterogeneous_plan(demand_rps).total_cost_usd
+        homo = self.best_homogeneous_plan(demand_rps).total_cost_usd
+        return homo / hetero - 1.0
+
+    def _check_demand(self, demand_rps: Mapping[str, float]) -> None:
+        unknown = set(demand_rps) - set(self._throughput)
+        if unknown:
+            raise KeyError(f"unknown services: {sorted(unknown)}")
+        if any(v <= 0 for v in demand_rps.values()):
+            raise ValueError("demands must be positive")

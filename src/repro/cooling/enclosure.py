@@ -1,0 +1,106 @@
+"""Enclosure designs: conventional, dual-entry, aggregated microblade.
+
+Each :class:`EnclosureDesign` derives its cooling-efficiency gain from the
+first-order models in :mod:`repro.cooling.thermal` and reports the rack
+density and the factor by which server fan power (and fan/heat-sink
+hardware cost) shrinks relative to the conventional front-to-back 1U
+design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cooling.thermal import AirflowPath, HeatPipe, ThermalCircuit, fan_power_w
+
+#: Reference per-server heat load used when comparing designs, watts.
+_REFERENCE_HEAT_W = 75.0
+#: Allowed air temperature rise through the enclosure, kelvin.
+_DELTA_T_K = 12.0
+
+
+@dataclass(frozen=True)
+class EnclosureDesign:
+    """One packaging design and its derived cooling characteristics."""
+
+    name: str
+    description: str
+    airflow: AirflowPath
+    systems_per_rack: int
+    #: Convective resistance of the per-server heat sink arrangement, K/W.
+    convection_k_w: float
+    #: Conduction resistance junction->sink (heat pipes reduce this), K/W.
+    conduction_k_w: float
+
+    def fan_power_per_server_w(self, heat_w: float = _REFERENCE_HEAT_W) -> float:
+        """Fan power to remove ``heat_w`` from one server."""
+        return fan_power_w(self.airflow, heat_w, _DELTA_T_K)
+
+    def thermal_circuit(self) -> ThermalCircuit:
+        return ThermalCircuit(
+            conduction_k_w=self.conduction_k_w, convection_k_w=self.convection_k_w
+        )
+
+    def cooling_efficiency_vs(self, baseline: "EnclosureDesign") -> float:
+        """Cooling efficiency relative to ``baseline``.
+
+        Defined as removable heat per watt of fan power within the same
+        junction-temperature budget: combines the airflow (fan power) gain
+        and the thermal-resistance (heat removal) gain.
+        """
+        heat_ratio = (
+            baseline.thermal_circuit().total_k_w / self.thermal_circuit().total_k_w
+        )
+        fan_ratio = baseline.fan_power_per_server_w() / self.fan_power_per_server_w()
+        # Geometric mean: efficiency gains come half from moving more heat
+        # per degree, half from spending less fan power per unit of air.
+        return (heat_ratio * fan_ratio) ** 0.5
+
+    def fan_power_factor(self, baseline: "EnclosureDesign") -> float:
+        """Multiplier on the baseline's fan power for equal heat removal."""
+        return 1.0 / self.cooling_efficiency_vs(baseline)
+
+
+#: Conventional 1U "pizza box" rack: front-to-back serial airflow across
+#: the full chassis depth, one heat sink per CPU, 40 servers in 42U.
+CONVENTIONAL_ENCLOSURE = EnclosureDesign(
+    name="conventional",
+    description="1U servers, front-to-back airflow, 40 per rack",
+    airflow=AirflowPath(flow_length_m=0.70, inlet_area_m2=0.012, parallel_paths=1),
+    systems_per_rack=40,
+    convection_k_w=0.55,
+    conduction_k_w=0.45,  # conventional copper spreader + per-CPU sink
+)
+
+#: Dual-entry enclosure: blades insert front and back onto a midplane;
+#: air flows vertically through all blades in parallel (short flow length,
+#: low pre-heat).  40 blades of 75 W per 5U enclosure -> 320 per rack.
+DUAL_ENTRY_ENCLOSURE = EnclosureDesign(
+    name="dual-entry",
+    description=(
+        "dual-entry 5U enclosure with directed vertical airflow; "
+        "40 blades per enclosure, 320 systems per rack"
+    ),
+    airflow=AirflowPath(flow_length_m=0.25, inlet_area_m2=0.008, parallel_paths=2),
+    systems_per_rack=320,
+    convection_k_w=0.42,  # lower pre-heat: sinks see near-inlet air
+    conduction_k_w=0.45,
+)
+
+#: Aggregated microblades: 25 W modules interspersed with planar heat
+#: pipes feeding one large optimized heat sink; four modules per carrier
+#: blade -> 1250 systems per rack.
+_MICRO_HEAT_PIPE = HeatPipe(length_m=0.09, cross_section_m2=5.0e-4)
+
+AGGREGATED_MICROBLADE = EnclosureDesign(
+    name="aggregated-microblade",
+    description=(
+        "25 W microblade modules with planar heat pipes (3x copper) "
+        "aggregated into one optimized heat sink; 1250 systems per rack"
+    ),
+    airflow=AirflowPath(flow_length_m=0.25, inlet_area_m2=0.008, parallel_paths=2),
+    systems_per_rack=1250,
+    # One large shared sink: much more convective area per watt.
+    convection_k_w=0.16,
+    conduction_k_w=_MICRO_HEAT_PIPE.conduction_resistance_k_w,
+)

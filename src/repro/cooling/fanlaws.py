@@ -1,0 +1,118 @@
+"""Fan affinity laws and cooling operating points.
+
+Completes the packaging toolbox with the fan-side physics: the affinity
+laws say that for a fixed fan geometry,
+
+    flow     ~ rpm
+    pressure ~ rpm^2
+    power    ~ rpm^3
+
+so moving air costs cubically in speed -- the quantitative reason the
+dual-entry enclosure's lower pressure drop translates into outsized fan
+power savings, and the reason enclosure designers trade heat-sink area
+against fan speed.
+
+:class:`Fan` scales a nameplate operating point through the laws;
+:func:`operating_point` solves for the speed a fan must run at to remove
+a heat load through a given airflow path within a temperature budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cooling.thermal import AirflowPath, required_flow_m3_s
+
+
+@dataclass(frozen=True)
+class Fan:
+    """One fan characterized at a nameplate operating point."""
+
+    name: str
+    rated_rpm: float
+    rated_flow_m3_s: float
+    rated_power_w: float
+    max_rpm: float
+
+    def __post_init__(self) -> None:
+        if min(self.rated_rpm, self.rated_flow_m3_s, self.rated_power_w) <= 0:
+            raise ValueError("rated values must be positive")
+        if self.max_rpm < self.rated_rpm:
+            raise ValueError("max rpm must be >= rated rpm")
+
+    def flow_at(self, rpm: float) -> float:
+        """Volumetric flow at a given speed (affinity: linear)."""
+        self._check_rpm(rpm)
+        return self.rated_flow_m3_s * rpm / self.rated_rpm
+
+    def power_at(self, rpm: float) -> float:
+        """Electrical power at a given speed (affinity: cubic)."""
+        self._check_rpm(rpm)
+        return self.rated_power_w * (rpm / self.rated_rpm) ** 3
+
+    def rpm_for_flow(self, flow_m3_s: float) -> float:
+        """Speed needed for a target flow; raises if beyond max rpm."""
+        if flow_m3_s < 0:
+            raise ValueError("flow must be >= 0")
+        rpm = self.rated_rpm * flow_m3_s / self.rated_flow_m3_s
+        if rpm > self.max_rpm:
+            raise ValueError(
+                f"fan {self.name} cannot deliver {flow_m3_s:.4f} m^3/s "
+                f"(needs {rpm:.0f} rpm, max {self.max_rpm:.0f})"
+            )
+        return rpm
+
+    def _check_rpm(self, rpm: float) -> None:
+        if not 0 <= rpm <= self.max_rpm:
+            raise ValueError(f"rpm must be in [0, {self.max_rpm}]")
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A solved cooling operating point."""
+
+    rpm: float
+    flow_m3_s: float
+    fan_power_w: float
+    pressure_pa: float
+
+    @property
+    def efficiency_w_per_w(self) -> float:
+        """Watts of heat removed per watt of fan power (set at solve time)."""
+        return self._heat_w / self.fan_power_w if self.fan_power_w > 0 else float("inf")
+
+    _heat_w: float = 0.0
+
+
+def operating_point(
+    fan: Fan,
+    path: AirflowPath,
+    heat_w: float,
+    delta_t_k: float,
+) -> OperatingPoint:
+    """Solve for the fan speed that removes ``heat_w`` through ``path``.
+
+    The flow requirement comes from the air heat balance; the affinity
+    laws give the rpm and electrical power; the path gives the pressure
+    the fan must develop at that flow.
+    """
+    flow = required_flow_m3_s(heat_w, delta_t_k)
+    rpm = fan.rpm_for_flow(flow)
+    return OperatingPoint(
+        rpm=rpm,
+        flow_m3_s=flow,
+        fan_power_w=fan.power_at(rpm),
+        pressure_pa=path.pressure_drop_pa(flow),
+        _heat_w=heat_w,
+    )
+
+
+def speed_margin(fan: Fan, path: AirflowPath, heat_w: float, delta_t_k: float) -> float:
+    """Headroom to the fan's max speed at the solved operating point.
+
+    Returns ``(max_rpm - rpm) / max_rpm``; designers keep ~30% margin for
+    altitude, filter clogging, and inlet-temperature excursions.
+    """
+    point = operating_point(fan, path, heat_w, delta_t_k)
+    return (fan.max_rpm - point.rpm) / fan.max_rpm

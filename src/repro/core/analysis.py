@@ -1,0 +1,99 @@
+"""Putting it all together: scoring designs against baselines.
+
+``evaluate_designs`` runs the full pipeline for any set of designs
+(baselines and unified designs alike): per-benchmark performance through
+the simulator (or the analytic model), per-design cost/power through the
+TCO model, then the four relative-efficiency tables of Figures 2(c) and
+5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.designs import BaselineDesign, UnifiedDesign
+from repro.core.efficiency import EfficiencyTable, build_efficiency_tables
+from repro.core.metrics import METRIC_ATTRIBUTES, EfficiencyMetrics
+from repro.simulator.performance import measure_performance
+from repro.simulator.server_sim import SimConfig
+from repro.workloads.suite import make_workload
+
+Design = Union[BaselineDesign, UnifiedDesign]
+
+
+@dataclass
+class DesignEvaluation:
+    """All measurements for one design set."""
+
+    designs: List[str]
+    benchmarks: List[str]
+    baseline: str
+    #: benchmark -> design -> EfficiencyMetrics
+    metrics: Dict[str, Dict[str, EfficiencyMetrics]]
+    #: metric display name -> relative table
+    tables: Dict[str, EfficiencyTable]
+
+    def table(self, metric: str) -> EfficiencyTable:
+        return self.tables[metric]
+
+    def render(self, metrics: Optional[Sequence[str]] = None) -> str:
+        names = list(metrics) if metrics is not None else list(self.tables)
+        return "\n\n".join(self.tables[m].render() for m in names)
+
+
+def evaluate_designs(
+    designs: Sequence[Design],
+    benchmarks: Iterable[str],
+    baseline: str,
+    method: str = "sim",
+    config: SimConfig = SimConfig(),
+) -> DesignEvaluation:
+    """Score every (design, benchmark) pair and build relative tables."""
+    design_list = list(designs)
+    names = [d.name for d in design_list]
+    if baseline not in names:
+        raise ValueError(f"baseline {baseline!r} not among designs {names}")
+    bench_list = list(benchmarks)
+
+    cost_inputs = {}
+    for design in design_list:
+        breakdown = design.tco_breakdown()
+        cost_inputs[design.name] = (
+            breakdown.consumed_power_w,
+            breakdown.hardware_total_usd,
+            breakdown.power_cooling_total_usd,
+        )
+
+    metrics: Dict[str, Dict[str, EfficiencyMetrics]] = {}
+    for bench in bench_list:
+        per_design: Dict[str, EfficiencyMetrics] = {}
+        for design in design_list:
+            workload = make_workload(bench)
+            result = measure_performance(
+                design.platform,
+                workload,
+                config=config,
+                disk_model=design.disk_model_for(bench),
+                memory_slowdown=design.memory_slowdown,
+                method=method,
+            )
+            power_w, inf_usd, pc_usd = cost_inputs[design.name]
+            per_design[design.name] = EfficiencyMetrics(
+                system=design.name,
+                benchmark=bench,
+                performance=result.score,
+                power_w=power_w,
+                infrastructure_usd=inf_usd,
+                power_cooling_usd=pc_usd,
+            )
+        metrics[bench] = per_design
+
+    tables = build_efficiency_tables(metrics, baseline, METRIC_ATTRIBUTES)
+    return DesignEvaluation(
+        designs=names,
+        benchmarks=bench_list,
+        baseline=baseline,
+        metrics=metrics,
+        tables=tables,
+    )

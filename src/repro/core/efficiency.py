@@ -1,0 +1,95 @@
+"""Relative efficiency tables in the format of Figure 2(c).
+
+An :class:`EfficiencyTable` holds one metric block (e.g. Perf/TCO-$):
+rows are benchmarks plus the harmonic-mean row, columns are systems, and
+every cell is relative to the baseline system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping
+
+from repro.core.metrics import EfficiencyMetrics, harmonic_mean
+
+#: Row label of the cross-benchmark aggregate.
+HMEAN_ROW = "HMean"
+
+
+@dataclass(frozen=True)
+class EfficiencyTable:
+    """One metric block: ``{benchmark: {system: value_relative_to_baseline}}``."""
+
+    metric: str
+    baseline: str
+    cells: Dict[str, Dict[str, float]]
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return [row for row in self.cells if row != HMEAN_ROW]
+
+    @property
+    def systems(self) -> List[str]:
+        first = next(iter(self.cells.values()))
+        return list(first)
+
+    def value(self, benchmark: str, system: str) -> float:
+        return self.cells[benchmark][system]
+
+    def hmean(self, system: str) -> float:
+        return self.cells[HMEAN_ROW][system]
+
+    def render(self, percent: bool = True) -> str:
+        """Plain-text rendering in the style of the paper's tables."""
+        systems = self.systems
+        header = f"{self.metric:<12}" + "".join(f"{s:>11}" for s in systems)
+        lines = [header]
+        for bench, row in self.cells.items():
+            cells = "".join(
+                f"{row[s] * 100:>10.0f}%" if percent else f"{row[s]:>11.3f}"
+                for s in systems
+            )
+            lines.append(f"{bench:<12}{cells}")
+        return "\n".join(lines)
+
+
+def build_efficiency_tables(
+    metrics: Mapping[str, Mapping[str, EfficiencyMetrics]],
+    baseline: str,
+    metric_attributes: Mapping[str, str],
+) -> Dict[str, EfficiencyTable]:
+    """Build all metric blocks from per-(benchmark, system) metrics.
+
+    ``metrics`` maps benchmark -> system -> :class:`EfficiencyMetrics`.
+    ``metric_attributes`` maps display names (e.g. ``"Perf/TCO-$"``) to
+    :class:`EfficiencyMetrics` property names.  Each block gets an HMean
+    row: the harmonic mean of the per-benchmark relative values, matching
+    the paper's aggregation.
+    """
+    benchmarks = list(metrics)
+    if not benchmarks:
+        raise ValueError("no benchmarks supplied")
+    systems = list(next(iter(metrics.values())))
+
+    tables: Dict[str, EfficiencyTable] = {}
+    for metric_name, attribute in metric_attributes.items():
+        cells: Dict[str, Dict[str, float]] = {}
+        for bench in benchmarks:
+            per_system = metrics[bench]
+            base = getattr(per_system[baseline], attribute)
+            if base <= 0:
+                raise ValueError(
+                    f"baseline {baseline} has non-positive {attribute} on {bench}"
+                )
+            cells[bench] = {
+                system: getattr(per_system[system], attribute) / base
+                for system in systems
+            }
+        cells[HMEAN_ROW] = {
+            system: harmonic_mean(cells[bench][system] for bench in benchmarks)
+            for system in systems
+        }
+        tables[metric_name] = EfficiencyTable(
+            metric=metric_name, baseline=baseline, cells=cells
+        )
+    return tables

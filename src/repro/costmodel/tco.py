@@ -1,0 +1,133 @@
+"""Three-year total cost of ownership (TCO) per server.
+
+Combines the hardware bill (:mod:`repro.costmodel.components`), rack
+amortization (:mod:`repro.costmodel.rack`), consumed power
+(:mod:`repro.costmodel.power`) and the burdened P&C model
+(:mod:`repro.costmodel.burdened`) into the per-server TCO the paper's
+Perf/TCO-$ metric divides by.
+
+:class:`TcoBreakdown` exposes every line of the paper's Figure 1(a) table
+and the component-level split of Figure 1(b) (hardware vs burdened power
+and cooling per component, plus the rack/switch share).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.costmodel.burdened import BurdenedPowerCoolingModel
+from repro.costmodel.components import Component, ServerBill
+from repro.costmodel.power import PowerModel
+from repro.costmodel.rack import RackConfig, STANDARD_RACK
+
+
+class CostCategory(enum.Enum):
+    """Whether a cost line is hardware capital or burdened power & cooling."""
+
+    HARDWARE = "HW"
+    POWER_COOLING = "P&C"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Pseudo-component used for the rack/switch share in breakdowns.
+RACK_SHARE = "rack+switch"
+
+
+@dataclass(frozen=True)
+class TcoBreakdown:
+    """Full per-server cost decomposition over the depreciation cycle."""
+
+    system: str
+    hardware_usd: Dict[str, float]
+    power_cooling_usd: Dict[str, float]
+    server_power_w: float
+    consumed_power_w: float
+
+    @property
+    def hardware_total_usd(self) -> float:
+        """Per-server hardware cost including the rack/switch share."""
+        return sum(self.hardware_usd.values())
+
+    @property
+    def power_cooling_total_usd(self) -> float:
+        """Burdened power-and-cooling cost over the cycle."""
+        return sum(self.power_cooling_usd.values())
+
+    @property
+    def total_usd(self) -> float:
+        """Total cost of ownership (the paper's "Total costs" line)."""
+        return self.hardware_total_usd + self.power_cooling_total_usd
+
+    def share(self, label: str, category: CostCategory) -> float:
+        """Fraction of TCO contributed by one (component, category) slice.
+
+        These are the slices of the paper's Figure 1(b) pie chart, e.g.
+        ``share("cpu", CostCategory.HARDWARE)`` is about 0.20 for srvr2.
+        """
+        table = (
+            self.hardware_usd
+            if category is CostCategory.HARDWARE
+            else self.power_cooling_usd
+        )
+        return table.get(label, 0.0) / self.total_usd
+
+    def pie_slices(self) -> Dict[Tuple[str, CostCategory], float]:
+        """All Figure 1(b) pie slices as ``{(label, category): fraction}``."""
+        slices: Dict[Tuple[str, CostCategory], float] = {}
+        for label, usd in self.hardware_usd.items():
+            slices[(label, CostCategory.HARDWARE)] = usd / self.total_usd
+        for label, usd in self.power_cooling_usd.items():
+            slices[(label, CostCategory.POWER_COOLING)] = usd / self.total_usd
+        return slices
+
+
+@dataclass(frozen=True)
+class TcoModel:
+    """Per-server TCO calculator with the paper's default parameters."""
+
+    power_model: PowerModel = field(default_factory=PowerModel)
+    burdened_model: BurdenedPowerCoolingModel = field(
+        default_factory=BurdenedPowerCoolingModel
+    )
+
+    @property
+    def rack(self) -> RackConfig:
+        return self.power_model.rack
+
+    def breakdown(self, bill: ServerBill) -> TcoBreakdown:
+        """Compute the full cost decomposition for one server bill."""
+        hardware: Dict[str, float] = {
+            component.value: spec.cost_usd for component, spec in bill.items()
+        }
+        hardware[RACK_SHARE] = self.rack.switch_cost_per_server_usd
+
+        power_cooling: Dict[str, float] = {}
+        for component, watts in self.power_model.component_consumed_w(bill).items():
+            power_cooling[component.value] = self.burdened_model.cost_usd(watts)
+        power_cooling[RACK_SHARE] = self.burdened_model.cost_usd(
+            self.power_model.switch_consumed_per_server_w()
+        )
+
+        return TcoBreakdown(
+            system=bill.name,
+            hardware_usd=hardware,
+            power_cooling_usd=power_cooling,
+            server_power_w=bill.power_w,
+            consumed_power_w=self.power_model.server_consumed_w(bill),
+        )
+
+    def total_usd(self, bill: ServerBill) -> float:
+        """Per-server TCO (hardware + burdened P&C + rack share)."""
+        return self.breakdown(bill).total_usd
+
+    def infrastructure_usd(self, bill: ServerBill) -> float:
+        """Per-server infrastructure (hardware-only) cost incl. rack share."""
+        return self.breakdown(bill).hardware_total_usd
+
+    def power_cooling_usd(self, bill: ServerBill) -> float:
+        """Per-server burdened power-and-cooling cost over the cycle."""
+        return self.breakdown(bill).power_cooling_total_usd

@@ -1,0 +1,93 @@
+"""Utilization-based power accounting (cross-check on the activity factor).
+
+The paper discounts spec-sheet power by a flat 0.75 activity factor and
+reports that 0.5-1.0 gives qualitatively similar results.  This module
+offers the alternative accounting: component power that scales with the
+*measured* utilization from the simulator (the Fan et al. style linear
+model, ``P = idle + (peak - idle) * utilization`` per component), and a
+function that converts a simulated run's utilizations into the *implied*
+activity factor -- letting us check how good the 0.75 flat discount is
+at the QoS-constrained operating points this repository actually
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.costmodel.components import Component, ServerBill
+
+#: Idle power as a fraction of max operational power, per component.
+#: CPUs are the most power-proportional part; disks spin regardless;
+#: board/VRM and PSU/fans are nearly constant.
+DEFAULT_IDLE_FRACTIONS: Dict[Component, float] = {
+    Component.CPU: 0.35,
+    Component.MEMORY: 0.55,
+    Component.DISK: 0.80,
+    Component.BOARD: 0.90,
+    Component.POWER_FANS: 0.85,
+}
+
+#: Which simulator resource drives each component's utilization.
+_COMPONENT_RESOURCE: Dict[Component, str] = {
+    Component.CPU: "cpu",
+    Component.MEMORY: "mem",
+    Component.DISK: "disk",
+}
+
+
+@dataclass(frozen=True)
+class UtilizationPowerModel:
+    """Linear idle-to-peak power model per component."""
+
+    idle_fractions: Mapping[Component, float] = field(
+        default_factory=lambda: dict(DEFAULT_IDLE_FRACTIONS)
+    )
+
+    def __post_init__(self) -> None:
+        for component, fraction in self.idle_fractions.items():
+            if not 0 <= fraction <= 1:
+                raise ValueError(f"idle fraction of {component} must be in [0, 1]")
+
+    def component_power_w(
+        self, bill: ServerBill, component: Component, utilization: float
+    ) -> float:
+        """One component's draw at a given utilization."""
+        if not 0 <= utilization <= 1:
+            raise ValueError("utilization must be in [0, 1]")
+        peak = bill.power_of(component)
+        idle_fraction = self.idle_fractions.get(component, 1.0)
+        idle = idle_fraction * peak
+        return idle + (peak - idle) * utilization
+
+    def server_power_w(
+        self, bill: ServerBill, utilizations: Mapping[str, float]
+    ) -> float:
+        """Server draw given the simulator's per-resource utilizations.
+
+        ``utilizations`` is the :class:`SimResult.utilization` mapping
+        (resource name -> mean busy fraction).  Components without a
+        matching resource (board, PSU/fans, NIC share of the board) run
+        at their idle fraction regardless of load.
+        """
+        total = 0.0
+        for component in Component:
+            if bill.power_of(component) == 0.0:
+                continue
+            resource = _COMPONENT_RESOURCE.get(component)
+            utilization = utilizations.get(resource, 0.0) if resource else 0.0
+            total += self.component_power_w(bill, component, utilization)
+        return total
+
+    def implied_activity_factor(
+        self, bill: ServerBill, utilizations: Mapping[str, float]
+    ) -> float:
+        """Consumed/nameplate ratio the utilization model implies.
+
+        Directly comparable to the paper's flat 0.75 activity factor.
+        """
+        nameplate = bill.power_w
+        if nameplate <= 0:
+            raise ValueError("bill has no power")
+        return self.server_power_w(bill, utilizations) / nameplate

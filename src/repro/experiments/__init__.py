@@ -1,0 +1,26 @@
+"""Experiment modules: one per paper table/figure.
+
+Every module exposes ``run(...) -> ExperimentResult`` which regenerates
+the corresponding artifact:
+
+========== ==========================================================
+Module     Paper artifact
+========== ==========================================================
+table1     Table 1 -- benchmark suite summary
+figure1    Figure 1(a/b) -- cost model and srvr2 TCO breakdown
+table2     Table 2 -- the six system configurations
+figure2    Figure 2(a/b/c) -- cost breakdowns and efficiency matrix
+figure3    Figure 3 -- cooling architectures (efficiency and density)
+figure4    Figure 4(b/c) -- memory-sharing slowdowns and provisioning
+table3     Table 3(a/b) -- flash/disk parameters and efficiencies
+figure5    Figure 5 -- unified designs N1/N2 vs srvr1 (and vs srvr2/desk)
+sensitivity Activity-factor and tariff sweeps (section 2.2 robustness)
+========== ==========================================================
+
+``repro.experiments.runner`` runs any subset from the command line:
+``python -m repro.experiments.runner --list``.
+"""
+
+from repro.experiments.reporting import ExperimentResult
+
+__all__ = ["ExperimentResult"]

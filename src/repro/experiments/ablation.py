@@ -1,0 +1,98 @@
+"""Ablation study: which of N2's four optimizations carries the gains?
+
+The paper evaluates the optimizations in isolation (sections 3.2-3.5) and
+combined (3.6) but never removes them one at a time from the final
+design.  This experiment does exactly that: starting from the full N2, it
+drops each ingredient -- the embedded platform, the aggregated cooling,
+memory sharing, and the flash/remote-disk subsystem -- and reports the
+harmonic-mean Perf/TCO-$ (vs srvr1) of every variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cooling.enclosure import AGGREGATED_MICROBLADE, CONVENTIONAL_ENCLOSURE
+from repro.core.analysis import evaluate_designs
+from repro.core.designs import UnifiedDesign, baseline_design, n2_design
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.flashcache.analysis import disk_configuration
+from repro.memsim.provisioning import DYNAMIC_PROVISIONING
+from repro.simulator.server_sim import SimConfig
+from repro.workloads.suite import benchmark_names
+
+
+def ablated_designs() -> List[UnifiedDesign]:
+    """N2 plus four leave-one-out variants."""
+    full = n2_design()
+    return [
+        full,
+        UnifiedDesign(
+            name="N2-no-embedded",
+            platform_name="desk",  # fall back to the desktop platform
+            enclosure=AGGREGATED_MICROBLADE,
+            memory_scheme=DYNAMIC_PROVISIONING,
+            disk_config=disk_configuration("remote-laptop+flash"),
+            description="N2 with desktop CPUs instead of embedded",
+        ),
+        UnifiedDesign(
+            name="N2-no-cooling",
+            platform_name="emb1",
+            enclosure=CONVENTIONAL_ENCLOSURE,
+            memory_scheme=DYNAMIC_PROVISIONING,
+            disk_config=disk_configuration("remote-laptop+flash"),
+            description="N2 in conventional 1U packaging",
+        ),
+        UnifiedDesign(
+            name="N2-no-memshare",
+            platform_name="emb1",
+            enclosure=AGGREGATED_MICROBLADE,
+            memory_scheme=None,
+            disk_config=disk_configuration("remote-laptop+flash"),
+            description="N2 with full per-server memory",
+        ),
+        UnifiedDesign(
+            name="N2-no-flashdisk",
+            platform_name="emb1",
+            enclosure=AGGREGATED_MICROBLADE,
+            memory_scheme=DYNAMIC_PROVISIONING,
+            disk_config=None,  # keep the local desktop disk
+            description="N2 with local desktop disks",
+        ),
+    ]
+
+
+def run(method: str = "sim", config: SimConfig = SimConfig()) -> ExperimentResult:
+    """Evaluate N2 and its leave-one-out variants against srvr1."""
+    designs = [baseline_design("srvr1"), *ablated_designs()]
+    evaluation = evaluate_designs(
+        designs, benchmark_names(), baseline="srvr1", method=method, config=config
+    )
+    tco = evaluation.table("Perf/TCO-$")
+    watt = evaluation.table("Perf/W")
+
+    full_hmean = tco.hmean("N2")
+    rows = []
+    contributions: Dict[str, float] = {}
+    for design in designs[1:]:
+        hmean = tco.hmean(design.name)
+        delta = full_hmean - hmean if design.name != "N2" else 0.0
+        contributions[design.name] = delta
+        rows.append(
+            (
+                design.name,
+                percent(hmean),
+                percent(watt.hmean(design.name)),
+                f"{delta * 100:+.0f}pp" if design.name != "N2" else "--",
+            )
+        )
+    table = format_table(
+        ["Variant", "Perf/TCO-$ HMean", "Perf/W HMean", "cost of removal"], rows
+    )
+    return ExperimentResult(
+        experiment_id="EXT-2",
+        title="N2 leave-one-out ablation",
+        paper_reference="sections 3.2-3.6 (composition)",
+        sections={"ablation": table},
+        data={"tables": evaluation.tables, "contributions": contributions},
+    )

@@ -1,0 +1,80 @@
+"""Time-of-day load and ensemble energy (section 4 caveat, quantified).
+
+The paper studies sustained peak load only.  This experiment adds the
+diurnal dimension: a fleet provisioned for peak websearch load spends
+most of the day underutilized, so
+
+- per-server energy-proportionality (idle power fraction) dominates the
+  *energy* bill, and
+- ensemble-level management (parking servers at the trough) recovers a
+  large share -- more for high-idle-power server platforms than for the
+  already-low-power embedded platforms, reinforcing the paper's
+  ensemble-level design argument.
+
+Also reports how memory-blade dynamic provisioning interacts with
+diurnal load: the 20%-of-servers-memory-less assumption (section 3.4)
+matches the off-peak fraction of a typical 3:1 day.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cluster.diurnal import DiurnalLoadModel, EnsembleEnergyModel
+from repro.costmodel.catalog import server_bill
+from repro.costmodel.power import PowerModel
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+
+FLEET_SERVERS = 1000
+PROFILE = DiurnalLoadModel(peak_to_trough=3.0)
+#: Fan et al.-style idle power: ~60% of peak for classic servers;
+#: low-power platforms idle proportionally lower.
+IDLE_FRACTIONS = {"srvr1": 0.65, "desk": 0.60, "emb1": 0.50}
+PARKABLE = 0.5
+
+
+def run() -> ExperimentResult:
+    """Daily fleet energy with and without ensemble parking."""
+    power_model = PowerModel()
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for system, idle in IDLE_FRACTIONS.items():
+        peak_w = power_model.server_consumed_w(server_bill(system))
+        unmanaged = EnsembleEnergyModel(peak_w, idle, parkable_fraction=0.0)
+        managed = EnsembleEnergyModel(peak_w, idle, parkable_fraction=PARKABLE)
+        base_kwh = unmanaged.daily_energy_kwh(FLEET_SERVERS, PROFILE)
+        managed_kwh = managed.daily_energy_kwh(FLEET_SERVERS, PROFILE)
+        savings = managed.parking_savings(FLEET_SERVERS, PROFILE)
+        data[system] = {
+            "daily_kwh": base_kwh,
+            "managed_kwh": managed_kwh,
+            "savings": savings,
+        }
+        rows.append(
+            (
+                system,
+                f"{peak_w:.0f} W",
+                f"{base_kwh:,.0f} kWh",
+                f"{managed_kwh:,.0f} kWh",
+                percent(savings),
+            )
+        )
+    table = format_table(
+        ["System", "peak/server", "daily energy", "w/ parking", "saving"], rows
+    )
+
+    note = (
+        f"diurnal profile: {PROFILE.peak_to_trough:.0f}:1 peak-to-trough, "
+        f"mean utilization {PROFILE.mean_utilization:.0%} of peak; "
+        f"dynamic memory provisioning's 85%-of-baseline assumption "
+        f"(section 3.4) corresponds to parking "
+        f"{1 - PROFILE.mean_utilization:.0%}-load headroom."
+    )
+
+    return ExperimentResult(
+        experiment_id="EXT-4",
+        title="Diurnal load and ensemble energy management",
+        paper_reference="section 4 (time-of-day caveat)",
+        sections={"fleet energy": table, "note": note},
+        data=data,
+    )

@@ -1,0 +1,84 @@
+"""Figure 1: cost models and breakdowns for srvr1 and srvr2.
+
+Figure 1(a) is the cost-model table (per-component costs and power,
+burdened 3-year power-and-cooling, totals); Figure 1(b) is the srvr2 TCO
+pie chart, rendered here as a percentage table.
+
+Paper values for validation: srvr1 total $5,758 (P&C $2,464), srvr2 total
+$3,249 (P&C $1,561); srvr2 pie has CPU HW ~20% and CPU P&C ~22% as the two
+largest slices.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.catalog import server_bill
+from repro.costmodel.tco import CostCategory, TcoModel
+from repro.experiments.reporting import (
+    ExperimentResult,
+    dollars,
+    format_table,
+    percent,
+)
+
+
+def run() -> ExperimentResult:
+    """Regenerate Figure 1's cost table and breakdown."""
+    model = TcoModel()
+    breakdowns = {name: model.breakdown(server_bill(name)) for name in ("srvr1", "srvr2")}
+
+    # Figure 1(a): the cost model table.
+    rows = []
+    labels = ["cpu", "memory", "disk", "board+mgmt", "power+fans", "rack+switch"]
+    for label in labels:
+        rows.append(
+            (
+                f"{label} HW",
+                dollars(breakdowns["srvr1"].hardware_usd.get(label, 0.0)),
+                dollars(breakdowns["srvr2"].hardware_usd.get(label, 0.0)),
+            )
+        )
+    rows.append(
+        (
+            "server power (W)",
+            f"{breakdowns['srvr1'].server_power_w:.0f}",
+            f"{breakdowns['srvr2'].server_power_w:.0f}",
+        )
+    )
+    rows.append(
+        (
+            "3-yr power & cooling",
+            dollars(breakdowns["srvr1"].power_cooling_total_usd),
+            dollars(breakdowns["srvr2"].power_cooling_total_usd),
+        )
+    )
+    rows.append(
+        (
+            "total costs",
+            dollars(breakdowns["srvr1"].total_usd),
+            dollars(breakdowns["srvr2"].total_usd),
+        )
+    )
+    table_a = format_table(["Details", "srvr1", "srvr2"], rows)
+
+    # Figure 1(b): srvr2 breakdown as pie-slice percentages.
+    srvr2 = breakdowns["srvr2"]
+    pie_rows = []
+    for (label, category), fraction in sorted(
+        srvr2.pie_slices().items(), key=lambda kv: -kv[1]
+    ):
+        pie_rows.append((f"{label} {category}", percent(fraction)))
+    table_b = format_table(["Slice", "Share of TCO"], pie_rows)
+
+    return ExperimentResult(
+        experiment_id="E2/E3",
+        title="Cost models and breakdowns",
+        paper_reference="Figure 1(a,b)",
+        sections={"cost model (a)": table_a, "srvr2 breakdown (b)": table_b},
+        data={
+            "srvr1_total": breakdowns["srvr1"].total_usd,
+            "srvr2_total": breakdowns["srvr2"].total_usd,
+            "srvr1_pc": breakdowns["srvr1"].power_cooling_total_usd,
+            "srvr2_pc": breakdowns["srvr2"].power_cooling_total_usd,
+            "srvr2_slices": srvr2.pie_slices(),
+        },
+    )

@@ -1,0 +1,104 @@
+"""Figure 2: benefits from low-cost low-power CPUs from non-server markets.
+
+- Figure 2(a): per-system infrastructure-cost breakdown (stacked, here as
+  a component table).
+- Figure 2(b): per-system burdened power-and-cooling breakdown.
+- Figure 2(c): performance, Perf/Inf-$, Perf/W and Perf/TCO-$ for every
+  benchmark on every system, relative to srvr1, plus the harmonic mean.
+
+Also reports the section 3.2 rack-power observation (srvr1 13.6 kW/rack
+vs emb1 2.7 kW/rack).
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import evaluate_designs
+from repro.core.designs import baseline_design
+from repro.costmodel.catalog import server_bill, system_names
+from repro.costmodel.power import PowerModel
+from repro.costmodel.tco import TcoModel
+from repro.experiments.reporting import (
+    ExperimentResult,
+    ascii_stacked_bars,
+    format_table,
+    percent,
+)
+from repro.simulator.server_sim import SimConfig
+from repro.workloads.suite import benchmark_names
+
+#: Metric blocks reported by Figure 2(c), in paper order.
+FIGURE2C_METRICS = ["Perf", "Perf/Inf-$", "Perf/W", "Perf/TCO-$"]
+
+
+def run(method: str = "sim", config: SimConfig = SimConfig()) -> ExperimentResult:
+    """Regenerate Figure 2.  ``method`` selects DES or analytic scoring."""
+    systems = system_names()
+    model = TcoModel()
+    power_model = PowerModel()
+
+    # (a) Infrastructure and (b) P&C cost breakdowns per system.
+    component_labels = ["cpu", "memory", "disk", "board+mgmt", "power+fans", "rack+switch"]
+    inf_rows, pc_rows = [], []
+    breakdowns = {name: model.breakdown(server_bill(name)) for name in systems}
+    for label in component_labels:
+        inf_rows.append(
+            [label] + [f"{breakdowns[s].hardware_usd.get(label, 0):,.0f}" for s in systems]
+        )
+        pc_rows.append(
+            [label] + [f"{breakdowns[s].power_cooling_usd.get(label, 0):,.0f}" for s in systems]
+        )
+    inf_rows.append(
+        ["total"] + [f"{breakdowns[s].hardware_total_usd:,.0f}" for s in systems]
+    )
+    pc_rows.append(
+        ["total"] + [f"{breakdowns[s].power_cooling_total_usd:,.0f}" for s in systems]
+    )
+    table_a = format_table(["Inf-$ component"] + systems, inf_rows)
+    table_b = format_table(["P&C-$ component"] + systems, pc_rows)
+    chart_a = ascii_stacked_bars(
+        {s: dict(breakdowns[s].hardware_usd) for s in systems}
+    )
+    chart_b = ascii_stacked_bars(
+        {s: dict(breakdowns[s].power_cooling_usd) for s in systems}
+    )
+
+    # (c) Efficiency matrix via the full design-evaluation pipeline.
+    designs = [baseline_design(name) for name in systems]
+    evaluation = evaluate_designs(
+        designs, benchmark_names(), baseline="srvr1", method=method, config=config
+    )
+    sections = {
+        "Inf-$ breakdown (a)": table_a,
+        "Inf-$ chart (a)": chart_a,
+        "P&C-$ breakdown (b)": table_b,
+        "P&C-$ chart (b)": chart_b,
+    }
+    for metric in FIGURE2C_METRICS:
+        table = evaluation.table(metric)
+        rows = [
+            [bench] + [percent(table.cells[bench][s]) for s in systems]
+            for bench in list(table.cells)
+        ]
+        sections[f"{metric} (c)"] = format_table([metric] + systems, rows)
+
+    # Section 3.2: rack power comparison.
+    rack_rows = [
+        (name, f"{power_model.rack.rack_power_w(server_bill(name).power_w) / 1000:.1f} kW "
+               f"nameplate ({power_model.rack_consumed_w(server_bill(name)) / 1000:.1f} kW consumed)")
+        for name in ("srvr1", "emb1")
+    ]
+    sections["rack power (section 3.2)"] = format_table(
+        ["System", "42U rack power"], rack_rows
+    )
+
+    return ExperimentResult(
+        experiment_id="E5/E6/E14",
+        title="Low-cost low-power CPUs from non-server markets",
+        paper_reference="Figure 2(a,b,c)",
+        sections=sections,
+        data={
+            "breakdowns": breakdowns,
+            "tables": evaluation.tables,
+            "metrics": evaluation.metrics,
+        },
+    )

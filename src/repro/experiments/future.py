@@ -1,0 +1,161 @@
+"""The "N3" forward look: composing the paper's section 4 enhancements.
+
+The paper closes with architectural enhancements it leaves to future
+work.  This experiment composes them on top of N2 and estimates the
+additional headroom:
+
+1. *Critical-block-first everywhere*: remote-page misses at 0.75 us
+   instead of 4 us shrink the memory-sharing slowdown (the 2% assumption
+   drops to ~0.5%).
+2. *DMA I/O to second-level memory*: removes the I/O share of remote
+   misses (:mod:`repro.memsim.dma`).
+3. *Content-based sharing + compression on the blade*: the blade stores
+   ~2x its physical capacity, so the dynamic scheme's remote DRAM
+   shrinks accordingly.
+4. *Flash as full disk replacement*: a dataset-sized flash array replaces
+   the SAN entirely (faster, pricier).
+
+Each step is reported cumulatively as HMean Perf/TCO-$ vs srvr1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.cooling.enclosure import AGGREGATED_MICROBLADE
+from repro.core.analysis import evaluate_designs
+from repro.core.designs import UnifiedDesign, baseline_design, n2_design
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.flashcache.analysis import disk_configuration, flash_only_configuration
+from repro.memsim.dma import DmaDirectModel
+from repro.memsim.provisioning import DYNAMIC_PROVISIONING, ProvisioningScheme
+from repro.memsim.sharing import (
+    CompressionModel,
+    PageSharingModel,
+    effective_capacity_factor,
+)
+from repro.memsim.twolevel import CBF_PAGE_LATENCY_US, PCIE_X4_PAGE_LATENCY_US
+from repro.simulator.server_sim import SimConfig
+from repro.workloads.suite import benchmark_names
+
+
+def _cbf_dma_slowdown(base_slowdown: float = 0.02) -> float:
+    """N2's assumed 2% PCIe slowdown, with CBF and DMA-direct applied."""
+    cbf_factor = CBF_PAGE_LATENCY_US / PCIE_X4_PAGE_LATENCY_US
+    dma_factor = DmaDirectModel().effective_miss_cost_factor()
+    return base_slowdown * cbf_factor * dma_factor
+
+
+def _shared_compressed_scheme() -> ProvisioningScheme:
+    """Dynamic provisioning with blade-side sharing + compression.
+
+    The blade's physical DRAM shrinks by the effective-capacity factor
+    while serving the same logical remote fraction.
+    """
+    factor = effective_capacity_factor(
+        PageSharingModel(servers=8), CompressionModel()
+    )
+    return ProvisioningScheme(
+        name="dynamic+shared+compressed",
+        local_fraction=DYNAMIC_PROVISIONING.local_fraction,
+        remote_fraction=DYNAMIC_PROVISIONING.remote_fraction / factor,
+    )
+
+
+def future_designs() -> List[Tuple[str, UnifiedDesign]]:
+    """N2 and the cumulative enhancement steps."""
+    n2 = n2_design()
+    step2 = UnifiedDesign(
+        name="N3-memfast",
+        platform_name="emb1",
+        enclosure=AGGREGATED_MICROBLADE,
+        memory_scheme=DYNAMIC_PROVISIONING,
+        disk_config=disk_configuration("remote-laptop+flash"),
+        description="N2 + CBF + DMA-direct remote memory",
+    )
+    step3 = UnifiedDesign(
+        name="N3-memlean",
+        platform_name="emb1",
+        enclosure=AGGREGATED_MICROBLADE,
+        memory_scheme=_shared_compressed_scheme(),
+        disk_config=disk_configuration("remote-laptop+flash"),
+        description="+ blade sharing and compression",
+    )
+    step4 = UnifiedDesign(
+        name="N3-flash",
+        platform_name="emb1",
+        enclosure=AGGREGATED_MICROBLADE,
+        memory_scheme=_shared_compressed_scheme(),
+        disk_config=flash_only_configuration(capacity_gb=32.0),
+        description="+ flash replaces the disk entirely",
+    )
+    return [("N2", n2), ("N3-memfast", step2), ("N3-memlean", step3),
+            ("N3-flash", step4)]
+
+
+class _TunedSlowdown:
+    """Wrap a design to override its memory slowdown."""
+
+    def __init__(self, design: UnifiedDesign, slowdown: float):
+        self._design = design
+        self._slowdown = slowdown
+
+    def __getattr__(self, name):
+        return getattr(self._design, name)
+
+    @property
+    def name(self) -> str:
+        return self._design.name
+
+    @property
+    def memory_slowdown(self) -> float:
+        return 1.0 + self._slowdown
+
+
+def run(method: str = "sim", config: SimConfig = SimConfig()) -> ExperimentResult:
+    """Evaluate the cumulative future-work steps."""
+    steps = future_designs()
+    designs = [baseline_design("srvr1")]
+    fast_slowdown = _cbf_dma_slowdown()
+    for name, design in steps:
+        if name == "N2":
+            designs.append(design)
+        else:
+            designs.append(_TunedSlowdown(design, fast_slowdown))
+
+    evaluation = evaluate_designs(
+        designs, benchmark_names(), baseline="srvr1", method=method, config=config
+    )
+    tco = evaluation.table("Perf/TCO-$")
+    watt = evaluation.table("Perf/W")
+    rows = []
+    data: Dict[str, float] = {}
+    short_adds = {
+        "N2": "(baseline unified design)",
+        "N3-memfast": "+ CBF + DMA-direct remote memory",
+        "N3-memlean": "+ blade sharing and compression",
+        "N3-flash": "+ flash replaces the disk entirely",
+    }
+    for name, _ in steps:
+        hmean = tco.hmean(name)
+        data[name] = hmean
+        rows.append(
+            (name, short_adds[name], percent(hmean), percent(watt.hmean(name)))
+        )
+    table = format_table(
+        ["Design", "Adds", "Perf/TCO-$ HMean", "Perf/W HMean"], rows
+    )
+    note = (
+        f"remote-memory slowdown with CBF + DMA-direct: "
+        f"{fast_slowdown * 100:.2f}% (vs the 2% PCIe assumption); "
+        f"blade effective capacity "
+        f"{effective_capacity_factor(PageSharingModel(servers=8), CompressionModel()):.2f}x physical."
+    )
+    return ExperimentResult(
+        experiment_id="EXT-5",
+        title="Future-work composition (N3)",
+        paper_reference="section 4 (architectural enhancements)",
+        sections={"cumulative steps": table, "note": note},
+        data=data,
+    )

@@ -1,0 +1,86 @@
+"""Heterogeneous-fleet study: does one size fit all? (EXT-9)
+
+Figure 2(c)'s efficiency matrix implies no single platform is optimal for
+every service.  This experiment sizes a multi-service datacenter (equal
+aggregate demand for all five benchmarks) three ways -- best homogeneous
+fleet, per-service heterogeneous fleet, and a homogeneous N2 fleet -- and
+reports the cost of forcing one platform everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cluster.heterogeneous import FleetOptimizer
+from repro.core.designs import baseline_design
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.platforms.catalog import platform
+from repro.simulator.performance import measure_performance
+from repro.simulator.server_sim import SimConfig
+from repro.workloads.suite import benchmark_names, make_workload
+
+SYSTEMS = ("srvr1", "srvr2", "desk", "mobl", "emb1")
+#: Aggregate demand per service, in each service's own metric units
+#: (requests/s for interactive, task units/s for batch).
+DEMAND_PER_SERVICE = 1000.0
+
+
+def run(config: SimConfig = SimConfig()) -> ExperimentResult:
+    """Size homogeneous vs heterogeneous fleets for an equal service mix."""
+    throughput: Dict[str, Dict[str, float]] = {}
+    for bench in benchmark_names():
+        workload = make_workload(bench)
+        throughput[bench] = {
+            system: measure_performance(
+                platform(system), workload, config=config
+            ).throughput_rps
+            for system in SYSTEMS
+        }
+    tco = {
+        system: baseline_design(system).tco_breakdown().total_usd
+        for system in SYSTEMS
+    }
+    optimizer = FleetOptimizer(throughput, tco)
+    demand = {bench: DEMAND_PER_SERVICE for bench in benchmark_names()}
+
+    hetero = optimizer.heterogeneous_plan(demand)
+    best_homo = optimizer.best_homogeneous_plan(demand)
+    premium = optimizer.homogeneity_premium(demand)
+
+    rows = [
+        (
+            a.service,
+            a.platform,
+            f"{a.servers:,}",
+            f"${a.fleet_cost_usd:,.0f}",
+            best_homo.platform_of(a.service),
+        )
+        for a in hetero.assignments
+    ]
+    placement = format_table(
+        ["Service", "best platform", "servers", "fleet cost", "homogeneous pick"],
+        rows,
+    )
+
+    summary_rows = [
+        ("heterogeneous", f"{hetero.total_servers:,}",
+         f"${hetero.total_cost_usd:,.0f}", "--"),
+        (best_homo.label, f"{best_homo.total_servers:,}",
+         f"${best_homo.total_cost_usd:,.0f}", percent(premium)),
+    ]
+    summary = format_table(
+        ["Fleet", "servers", "total TCO", "premium vs mixed"], summary_rows
+    )
+
+    return ExperimentResult(
+        experiment_id="EXT-9",
+        title="Heterogeneous vs homogeneous fleets",
+        paper_reference="Figure 2(c) implications",
+        sections={"per-service placement": placement, "summary": summary},
+        data={
+            "heterogeneous": hetero,
+            "best_homogeneous": best_homo,
+            "premium": premium,
+            "throughput": throughput,
+        },
+    )

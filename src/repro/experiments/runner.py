@@ -1,0 +1,123 @@
+"""Run experiments from the command line.
+
+Examples::
+
+    repro-experiments --list
+    repro-experiments figure1 table2
+    repro-experiments --all --method analytic
+    python -m repro.experiments.runner figure5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablation,
+    blade_contention,
+    diurnal,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    future,
+    heterogeneous,
+    latency_load,
+    power_accounting,
+    scaleout,
+    sensitivity,
+    table1,
+    table2,
+    table3,
+    validation,
+)
+from repro.experiments.reporting import ExperimentResult
+
+#: name -> (factory accepting **kwargs, supports-method-kwarg)
+_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "figure1": figure1.run,
+    "table2": table2.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "table3": table3.run,
+    "figure5": figure5.run,
+    "sensitivity": sensitivity.run,
+    "ablation": ablation.run,
+    "scaleout": scaleout.run,
+    "diurnal": diurnal.run,
+    "validation": validation.run,
+    "future": future.run,
+    "power": power_accounting.run,
+    "contention": blade_contention.run,
+    "latency": latency_load.run,
+    "heterogeneous": heterogeneous.run,
+}
+
+#: Experiments that accept a ``method`` keyword (DES vs analytic).
+_METHOD_AWARE = {"figure2", "table3", "figure5", "sensitivity", "ablation", "future"}
+
+
+def run_experiment(name: str, method: str = "sim") -> ExperimentResult:
+    """Run one experiment by name."""
+    try:
+        factory = _EXPERIMENTS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(_EXPERIMENTS)}"
+        ) from exc
+    if name in _METHOD_AWARE:
+        return factory(method=method)
+    return factory()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment names")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--method",
+        choices=["sim", "analytic"],
+        default="sim",
+        help="performance model: discrete-event simulation or analytic MVA",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the rendered results to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in _EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(_EXPERIMENTS) if args.all else args.experiments
+    if not names:
+        parser.print_help()
+        return 2
+
+    rendered = []
+    for name in names:
+        result = run_experiment(name, method=args.method)
+        text = result.render()
+        print(text)
+        print()
+        rendered.append(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(rendered) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Scale-out limits and cluster-aggregation validation (section 4).
+
+Two section 4 caveats, quantified:
+
+1. *Amdahl's-law limits*: replacing srvr1 with emb1 needs ~6x more
+   servers per unit of throughput; with partitioning overheads the true
+   multiplier is higher, eroding (but, at the paper's workload
+   characteristics, not erasing) the Perf/TCO-$ advantage.
+2. *Cluster-aggregation assumption*: the paper approximates cluster
+   performance as the sum of single-server results.  A multi-server
+   cluster simulation with a load balancer checks how close that is,
+   and how dispatch policy affects the cluster-level tail.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cluster.balancer import ClusterSimulator, Dispatch
+from repro.cluster.scaleout import ScaleOutModel
+from repro.core.designs import baseline_design
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.platforms.catalog import platform
+from repro.simulator.performance import measure_performance
+from repro.simulator.server_sim import SimConfig
+from repro.workloads.suite import make_workload
+
+#: Per-workload partitioning characteristics (the paper names search as
+#: the workload with partitioning overheads; mapreduce shards cleanly).
+SCALEOUT_MODELS: Dict[str, ScaleOutModel] = {
+    "websearch": ScaleOutModel(
+        serial_fraction=0.001, coordination_overhead=0.008,
+        datastructure_inflation=0.007,
+    ),
+    "mapred-wc": ScaleOutModel(
+        serial_fraction=0.005, coordination_overhead=0.005,
+        datastructure_inflation=0.005,
+    ),
+}
+
+
+def run(config: SimConfig = SimConfig()) -> ExperimentResult:
+    """Quantify both section 4 caveats."""
+    sections = {}
+    data: Dict[str, Dict] = {"equivalence": {}, "cluster": {}}
+
+    # 1. Equivalence ratios: emb1 servers per srvr1 server, with and
+    #    without partitioning overheads, and the TCO impact.
+    rows = []
+    srvr1_tco = baseline_design("srvr1").tco_breakdown().total_usd
+    emb1_tco = baseline_design("emb1").tco_breakdown().total_usd
+    for bench, model in SCALEOUT_MODELS.items():
+        workload = make_workload(bench)
+        big = measure_performance(platform("srvr1"), workload, config=config).score
+        small = measure_performance(platform("emb1"), workload, config=config).score
+        naive = big / small
+        with_overheads = model.equivalence_ratio(small, big, big_servers=100)
+        naive_tco_adv = srvr1_tco / (naive * emb1_tco)
+        real_tco_adv = srvr1_tco / (with_overheads * emb1_tco)
+        data["equivalence"][bench] = {
+            "naive_ratio": naive,
+            "overhead_ratio": with_overheads,
+            "naive_tco_advantage": naive_tco_adv,
+            "real_tco_advantage": real_tco_adv,
+        }
+        rows.append(
+            (
+                bench,
+                f"{naive:.1f}x",
+                f"{with_overheads:.1f}x",
+                percent(naive_tco_adv),
+                percent(real_tco_adv),
+            )
+        )
+    sections["emb1-per-srvr1 equivalence"] = format_table(
+        ["Benchmark", "naive servers", "w/ overheads",
+         "naive TCO adv.", "real TCO adv."],
+        rows,
+    )
+
+    # 2. Cluster aggregation: n-server cluster vs n x single server.
+    bench = "websearch"
+    workload = make_workload(bench)
+    plat = platform("srvr2")
+    single = measure_performance(plat, workload, config=config)
+    rows = []
+    for servers in (2, 4, 8):
+        for dispatch in (Dispatch.ROUND_ROBIN, Dispatch.LEAST_OUTSTANDING):
+            # Drive the cluster at ~the single-server peak concurrency.
+            per_server_clients = max(
+                2, int(single.throughput_rps
+                       * workload.profile.think_time_ms / 1000.0) + 8
+            )
+            result = ClusterSimulator(
+                plat, workload, servers=servers,
+                clients_per_server=per_server_clients,
+                dispatch=dispatch,
+                warmup_requests=300,
+                measure_requests=2500,
+            ).run()
+            aggregation = result.throughput_rps / (servers * single.throughput_rps)
+            data["cluster"][(servers, dispatch.value)] = {
+                "aggregation": aggregation,
+                "p95_ms": result.qos_percentile_ms,
+                "imbalance": result.imbalance,
+            }
+            rows.append(
+                (
+                    servers,
+                    str(dispatch),
+                    percent(aggregation),
+                    f"{result.qos_percentile_ms:.0f} ms",
+                    f"{result.imbalance:.3f}",
+                )
+            )
+    sections[f"cluster aggregation ({bench}, srvr2)"] = format_table(
+        ["Servers", "Dispatch", "vs n x single", "p95", "imbalance"], rows
+    )
+
+    return ExperimentResult(
+        experiment_id="EXT-3",
+        title="Scale-out limits and cluster aggregation",
+        paper_reference="section 4 (caveats)",
+        sections=sections,
+        data=data,
+    )

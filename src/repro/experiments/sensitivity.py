@@ -1,0 +1,97 @@
+"""Robustness sweeps the paper reports qualitatively (section 2.2).
+
+- Activity factor: "we also studied a range of activity factors from 0.5
+  to 1.0 and our results are qualitatively similar."
+- Electricity tariff: "there is a wide variation possible in the
+  electricity tariff rate (from $50/MWHr to $170/MWhr)".
+
+This experiment sweeps both knobs and reports the Perf/TCO-$ advantage of
+desk and emb1 over srvr1 (harmonic mean over the suite) at each setting.
+Performance does not depend on these knobs, so one performance matrix is
+reused across the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.core.metrics import harmonic_mean
+from repro.costmodel.burdened import BurdenedCostParameters, BurdenedPowerCoolingModel
+from repro.costmodel.catalog import server_bill
+from repro.costmodel.power import PowerModel
+from repro.costmodel.tco import TcoModel
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.simulator.performance import relative_performance_matrix
+from repro.simulator.server_sim import SimConfig
+from repro.workloads.suite import benchmark_names
+
+ACTIVITY_FACTORS = (0.5, 0.625, 0.75, 0.875, 1.0)
+TARIFFS_USD_PER_MWH = (50.0, 100.0, 170.0)
+COMPARED_SYSTEMS = ("desk", "emb1")
+
+
+def _tco(
+    system: str, activity_factor: float, tariff: float
+) -> float:
+    model = TcoModel(
+        power_model=PowerModel(activity_factor=activity_factor),
+        burdened_model=BurdenedPowerCoolingModel(
+            parameters=BurdenedCostParameters(tariff_usd_per_mwh=tariff)
+        ),
+    )
+    return model.total_usd(server_bill(system))
+
+
+def perf_tco_advantages(
+    perf_matrix: Dict[str, Dict[str, float]],
+    activity_factor: float,
+    tariff: float,
+    systems: Sequence[str] = COMPARED_SYSTEMS,
+) -> Dict[str, float]:
+    """HMean Perf/TCO-$ vs srvr1 at one (activity factor, tariff) point."""
+    base_tco = _tco("srvr1", activity_factor, tariff)
+    out = {}
+    for system in systems:
+        tco = _tco(system, activity_factor, tariff)
+        ratios = [
+            perf_matrix[bench][system] * base_tco / tco for bench in perf_matrix
+        ]
+        out[system] = harmonic_mean(ratios)
+    return out
+
+
+def run(method: str = "sim", config: SimConfig = SimConfig()) -> ExperimentResult:
+    """Sweep activity factor and tariff; report Perf/TCO-$ advantages."""
+    systems = ["srvr1", *COMPARED_SYSTEMS]
+    perf = relative_performance_matrix(
+        systems, benchmark_names(), method=method, config=config
+    )
+
+    sections = {}
+    data: Dict[str, Dict] = {"activity": {}, "tariff": {}}
+
+    rows = []
+    for factor in ACTIVITY_FACTORS:
+        adv = perf_tco_advantages(perf, factor, 100.0)
+        data["activity"][factor] = adv
+        rows.append([f"{factor:.3f}"] + [percent(adv[s]) for s in COMPARED_SYSTEMS])
+    sections["activity-factor sweep (tariff $100/MWh)"] = format_table(
+        ["Activity factor"] + [f"{s} vs srvr1" for s in COMPARED_SYSTEMS], rows
+    )
+
+    rows = []
+    for tariff in TARIFFS_USD_PER_MWH:
+        adv = perf_tco_advantages(perf, 0.75, tariff)
+        data["tariff"][tariff] = adv
+        rows.append([f"${tariff:.0f}/MWh"] + [percent(adv[s]) for s in COMPARED_SYSTEMS])
+    sections["tariff sweep (activity factor 0.75)"] = format_table(
+        ["Tariff"] + [f"{s} vs srvr1" for s in COMPARED_SYSTEMS], rows
+    )
+
+    return ExperimentResult(
+        experiment_id="EXT-1",
+        title="Activity-factor and tariff sensitivity",
+        paper_reference="section 2.2 (qualitative claims)",
+        sections=sections,
+        data=data,
+    )

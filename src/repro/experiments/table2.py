@@ -1,0 +1,62 @@
+"""Table 2: the six systems considered (features, watts, infrastructure $).
+
+Paper totals for validation (Inf-$ includes the per-server switch share):
+srvr1 340 W / $3,294; srvr2 215 W / $1,689; desk 135 W / $849;
+mobl 78 W / $989; emb1 52 W / $499; emb2 35 W / $379.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.catalog import server_bill, system_names
+from repro.costmodel.rack import STANDARD_RACK
+from repro.experiments.reporting import ExperimentResult, dollars, format_table
+from repro.platforms.catalog import platform
+
+#: The paper's "Similar to" column.
+SIMILAR_TO = {
+    "srvr1": "Xeon MP, Opteron MP",
+    "srvr2": "Xeon, Opteron",
+    "desk": "Core 2, Athlon 64",
+    "mobl": "Core 2 Mobile, Turion",
+    "emb1": "PA Semi, Emb. Athlon 64",
+    "emb2": "AMD Geode, VIA Eden-N",
+}
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table 2 from the platform and cost catalogs."""
+    rows = []
+    data = {}
+    for name in system_names():
+        plat = platform(name)
+        bill = server_bill(name)
+        inf_usd = bill.hardware_cost_usd + STANDARD_RACK.switch_cost_per_server_usd
+        rows.append(
+            (
+                name,
+                SIMILAR_TO[name],
+                plat.cpu.summary(),
+                f"{bill.power_w:.0f}",
+                dollars(inf_usd),
+            )
+        )
+        data[name] = {
+            "watt": bill.power_w,
+            "inf_usd": inf_usd,
+            "cpu": plat.cpu.summary(),
+            "memory_gb": plat.memory.capacity_gb,
+            "memory_technology": str(plat.memory.technology),
+            "disk": plat.disk.name,
+            "nic": plat.nic.name,
+        }
+
+    table = format_table(
+        ["System", "Similar to", "System features", "Watt", "Inf-$"], rows
+    )
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Summary of systems considered",
+        paper_reference="Table 2",
+        sections={"systems": table},
+        data=data,
+    )

@@ -1,0 +1,101 @@
+"""Full paper-vs-measured validation report (the EXPERIMENTS.md data).
+
+Regenerates the performance matrix, Perf/TCO-$ matrix, memory-sharing
+slowdowns, disk-configuration efficiencies, and the N1/N2 results, then
+diffs every cell against the paper's published values
+(:mod:`repro.validation.reference`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.analysis import evaluate_designs
+from repro.core.designs import baseline_design, n1_design, n2_design
+from repro.experiments.figure4 import slowdown_table
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.table3 import configuration_efficiencies
+from repro.simulator.performance import relative_performance_matrix
+from repro.simulator.server_sim import SimConfig
+from repro.validation.compare import compare_matrix, render_comparison, summarize
+from repro.validation.reference import (
+    PAPER_FIGURE2C_PERF,
+    PAPER_FIGURE2C_PERF_INF,
+    PAPER_FIGURE2C_PERF_TCO,
+    PAPER_FIGURE2C_PERF_W,
+    PAPER_FIGURE4B_PCIE,
+    PAPER_FIGURE5_TCO,
+    PAPER_TABLE3B,
+)
+
+_SYSTEMS = ["srvr1", "srvr2", "desk", "mobl", "emb1", "emb2"]
+_BENCHES = ["websearch", "webmail", "ytube", "mapred-wc", "mapred-wr"]
+
+
+def run(config: SimConfig = SimConfig()) -> ExperimentResult:
+    """Produce the complete per-cell validation report."""
+    sections: Dict[str, str] = {}
+    data: Dict[str, object] = {}
+
+    # Figure 2(c) Perf and Perf/TCO-$ blocks.
+    designs = [baseline_design(name) for name in _SYSTEMS]
+    evaluation = evaluate_designs(
+        designs, _BENCHES, baseline="srvr1", method="sim", config=config
+    )
+    perf_cells = evaluation.table("Perf").cells
+    deltas = compare_matrix(PAPER_FIGURE2C_PERF, perf_cells)
+    sections["Figure 2(c) Perf"] = render_comparison(deltas)
+    data["figure2c_perf"] = deltas
+
+    tco_cells = evaluation.table("Perf/TCO-$").cells
+    deltas = compare_matrix(PAPER_FIGURE2C_PERF_TCO, tco_cells)
+    sections["Figure 2(c) Perf/TCO-$"] = render_comparison(deltas, band=0.5)
+    data["figure2c_tco"] = deltas
+
+    deltas = compare_matrix(
+        PAPER_FIGURE2C_PERF_INF, evaluation.table("Perf/Inf-$").cells
+    )
+    sections["Figure 2(c) Perf/Inf-$"] = render_comparison(deltas, band=0.5)
+    data["figure2c_inf"] = deltas
+
+    deltas = compare_matrix(
+        PAPER_FIGURE2C_PERF_W, evaluation.table("Perf/W").cells
+    )
+    sections["Figure 2(c) Perf/W"] = render_comparison(deltas, band=0.5)
+    data["figure2c_w"] = deltas
+
+    # Figure 4(b) PCIe slowdowns.
+    slowdowns = slowdown_table(0.25)
+    measured = {"pcie": {name: v["pcie"] for name, v in slowdowns.items()}}
+    deltas = compare_matrix({"pcie": PAPER_FIGURE4B_PCIE}, measured)
+    sections["Figure 4(b) PCIe slowdowns"] = render_comparison(deltas, band=0.012)
+    data["figure4b"] = deltas
+
+    # Table 3(b).
+    efficiencies = configuration_efficiencies(method="sim", config=config)
+    deltas = compare_matrix(PAPER_TABLE3B, efficiencies)
+    sections["Table 3(b)"] = render_comparison(deltas, band=0.10)
+    data["table3b"] = deltas
+
+    # Figure 5.
+    n_eval = evaluate_designs(
+        [baseline_design("srvr1"), n1_design(), n2_design()],
+        _BENCHES,
+        baseline="srvr1",
+        method="sim",
+        config=config,
+    )
+    deltas = compare_matrix(PAPER_FIGURE5_TCO, n_eval.table("Perf/TCO-$").cells)
+    sections["Figure 5 Perf/TCO-$"] = render_comparison(deltas, band=0.6)
+    data["figure5"] = deltas
+
+    all_deltas = [d for block in data.values() for d in block]  # type: ignore[union-attr]
+    sections["overall"] = summarize(all_deltas, band=0.25)
+
+    return ExperimentResult(
+        experiment_id="VAL-1",
+        title="Paper-vs-measured validation report",
+        paper_reference="all evaluation artifacts",
+        sections=sections,
+        data=data,
+    )

@@ -1,0 +1,171 @@
+"""Disk-model strategies for the server simulator (section 3.5 configs).
+
+Three strategies implement the simulator's :class:`DiskModel` protocol:
+
+- :class:`LocalDiskModel` -- the baseline: every I/O hits the local disk.
+- :class:`RemoteSanDiskModel` -- laptop disks consolidated in a SAN.  Data
+  is striped across ``stripe_width`` spindles, so one request's transfer
+  engages several disks; the model divides the request's disk work by the
+  stripe width (throughput-exact, slightly conservative on queueing).
+- :class:`FlashCachedDiskModel` -- a flash cache in front of any backing
+  model.  Each request's disk working set is keyed by a Zipf-distributed
+  object id drawn from the workload's dataset; hits are served at flash
+  speed, misses go to the backing disk and populate the flash.
+
+Reads benefit from the cache; writes are written through (they pay the
+backing disk and add flash wear without avoiding disk traffic), matching
+the FlashCache design the paper adopts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.flashcache.cache import FlashCache
+from repro.platforms.storage import StorageDevice, FLASH_1GB
+from repro.workloads.base import ResourceDemand
+from repro.workloads.zipf import ZipfSampler
+
+#: Default SAN stripe width (spindles engaged per request's data).
+DEFAULT_STRIPE_WIDTH = 2
+#: Per-I/O SAN protocol overhead (SATA tunneling + network hop), ms.
+DEFAULT_SAN_OVERHEAD_MS = 8.0
+
+
+def _device_service_ms(
+    device: StorageDevice, ios: float, num_bytes: float, write: bool
+) -> float:
+    latency = device.write_latency_ms if write else device.read_latency_ms
+    return ios * latency + num_bytes / (device.bandwidth_mb_s * 1000.0)
+
+
+class LocalDiskModel:
+    """Baseline: all I/O to one local disk."""
+
+    def __init__(self, device: StorageDevice):
+        self.device = device
+
+    def service_ms(self, demand: ResourceDemand, rng: random.Random) -> float:
+        return _device_service_ms(
+            self.device, demand.disk_ios, demand.disk_bytes, demand.disk_write
+        )
+
+    def mean_service_ms(self, demand: ResourceDemand) -> float:
+        """Expected service for a mean demand (analytic model support)."""
+        return _device_service_ms(
+            self.device, demand.disk_ios, demand.disk_bytes, demand.disk_write
+        )
+
+
+class RemoteSanDiskModel:
+    """Laptop disks on a SAN, striped across ``stripe_width`` spindles.
+
+    Striping divides the transfer work across spindles; the per-I/O SAN
+    protocol overhead (SATA tunneling and the network hop) is serial and
+    is paid per seek.
+    """
+
+    def __init__(
+        self,
+        device: StorageDevice,
+        stripe_width: int = DEFAULT_STRIPE_WIDTH,
+        san_overhead_ms: float = DEFAULT_SAN_OVERHEAD_MS,
+    ):
+        if stripe_width <= 0:
+            raise ValueError("stripe width must be positive")
+        if san_overhead_ms < 0:
+            raise ValueError("SAN overhead must be >= 0")
+        self.device = device
+        self.stripe_width = stripe_width
+        self.san_overhead_ms = san_overhead_ms
+
+    def service_ms(self, demand: ResourceDemand, rng: random.Random) -> float:
+        return self.mean_service_ms(demand)
+
+    def mean_service_ms(self, demand: ResourceDemand) -> float:
+        """Expected service for a mean demand (analytic model support)."""
+        work = _device_service_ms(
+            self.device, demand.disk_ios, demand.disk_bytes, demand.disk_write
+        )
+        return work / self.stripe_width + demand.disk_ios * self.san_overhead_ms
+
+
+@dataclass(frozen=True)
+class FlashObjectParams:
+    """How a workload's disk traffic maps onto cacheable objects."""
+
+    #: Disk-resident dataset size, GB.
+    dataset_gb: float
+    #: Zipf exponent of object popularity (low = scan-like, little reuse).
+    zipf_alpha: float
+    #: Mean object size, bytes (one request touches one object).
+    object_bytes: float
+
+
+#: Per-workload object models.  Dataset sizes follow Table 1 (websearch
+#: 20 GB dataset with a hot disk-resident subset, webmail 7 GB of mail,
+#: ytube a large video corpus, mapreduce a 5 GB corpus); reuse skew is
+#: high for user-facing traffic and low for mapreduce scans.
+FLASH_OBJECT_PARAMS: Dict[str, FlashObjectParams] = {
+    "websearch": FlashObjectParams(dataset_gb=5.0, zipf_alpha=0.85, object_bytes=300_000),
+    "webmail": FlashObjectParams(dataset_gb=7.0, zipf_alpha=0.95, object_bytes=375_000),
+    "ytube": FlashObjectParams(dataset_gb=30.0, zipf_alpha=0.80, object_bytes=2_000_000),
+    "mapred-wc": FlashObjectParams(dataset_gb=5.0, zipf_alpha=0.40, object_bytes=3_900_000),
+    "mapred-wr": FlashObjectParams(dataset_gb=5.0, zipf_alpha=0.30, object_bytes=14_300_000),
+}
+
+
+class FlashCachedDiskModel:
+    """A flash cache in front of a backing disk model."""
+
+    def __init__(
+        self,
+        backing,  # LocalDiskModel | RemoteSanDiskModel
+        workload_name: str,
+        flash_device: StorageDevice = FLASH_1GB,
+        params: FlashObjectParams | None = None,
+    ):
+        if params is None:
+            try:
+                params = FLASH_OBJECT_PARAMS[workload_name]
+            except KeyError as exc:
+                raise KeyError(
+                    f"no flash object params for workload {workload_name!r}"
+                ) from exc
+        self.backing = backing
+        self.params = params
+        self.cache = FlashCache(flash_device, params.object_bytes)
+        objects = max(1, int(params.dataset_gb * (1 << 30) / params.object_bytes))
+        self._popularity = ZipfSampler(objects, params.zipf_alpha)
+
+    def expected_hit_rate(self) -> float:
+        """Independent-reference hit-rate estimate (hot head fits in flash)."""
+        return self._popularity.head_mass(self.cache.capacity_objects)
+
+    def service_ms(self, demand: ResourceDemand, rng: random.Random) -> float:
+        if demand.disk_bytes <= 0 and demand.disk_ios <= 0:
+            return 0.0
+        object_id = self._popularity.sample(rng)
+        if demand.disk_write:
+            # Write-through: disk pays full price; cached copy is updated.
+            self.cache.write_update(object_id)
+            return self.backing.service_ms(demand, rng)
+        if self.cache.lookup(object_id):
+            # Flash hit: serve the request's bytes from flash.
+            scale = demand.disk_bytes / max(self.params.object_bytes, 1.0)
+            return self.cache.read_service_ms() * max(scale, 0.1)
+        service = self.backing.service_ms(demand, rng)
+        self.cache.insert(object_id)
+        return service
+
+    def mean_service_ms(self, demand: ResourceDemand) -> float:
+        """Expected service for a mean demand (analytic model support)."""
+        backing = self.backing.mean_service_ms(demand)
+        if demand.disk_write:
+            return backing
+        hit_rate = self.expected_hit_rate()
+        scale = max(demand.disk_bytes / max(self.params.object_bytes, 1.0), 0.1)
+        flash = self.cache.read_service_ms() * scale
+        return hit_rate * flash + (1.0 - hit_rate) * backing

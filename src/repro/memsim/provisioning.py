@@ -1,0 +1,95 @@
+"""Static vs dynamic memory provisioning (paper Figure 4(c)).
+
+Two provisioning schemes, both keeping 25% of the baseline capacity as
+local memory per server:
+
+- *Static partitioning*: same total DRAM as the baseline; the remaining
+  75% lives on memory blades built from slower devices at the commodity
+  "sweet spot", 24% cheaper per GB (DRAMeXchange).
+- *Dynamic provisioning*: 20% of servers use only their local memory, so
+  total system memory is 85% of baseline (25% local + 60% on blades).
+
+Memory-blade DRAM stays in active power-down mode (>90% power reduction
+for DDR2) because accesses are page-granular and dominated by the PCIe
+transfer; each server additionally pays for its PCIe connection
+($10, 1.45 W).  The paper assumes a 2% performance slowdown across all
+benchmarks for the cost/power evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.components import ComponentSpec
+from repro.memsim.blade import PCIE_PER_SERVER_COST_USD, PCIE_PER_SERVER_POWER_W
+
+#: Remote (memory-blade) devices: slower but cheaper commodity parts.
+REMOTE_PRICE_DISCOUNT = 0.24
+#: Active power-down keeps >90% of device power off (DDR2).
+REMOTE_POWERDOWN_SAVINGS = 0.90
+#: Paper's assumed uniform slowdown for the cost/power evaluation.
+ASSUMED_SLOWDOWN = 0.02
+
+
+@dataclass(frozen=True)
+class ProvisioningScheme:
+    """One memory-provisioning scheme."""
+
+    name: str
+    #: Fraction of baseline capacity kept as per-server local memory.
+    local_fraction: float
+    #: Fraction of baseline capacity placed on memory blades.
+    remote_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.local_fraction <= 1:
+            raise ValueError("local fraction must be in (0, 1]")
+        if self.remote_fraction < 0:
+            raise ValueError("remote fraction must be >= 0")
+        if self.local_fraction + self.remote_fraction > 1.0 + 1e-9:
+            raise ValueError("total provisioned capacity exceeds baseline")
+
+    @property
+    def total_fraction(self) -> float:
+        """Total system DRAM relative to the baseline."""
+        return self.local_fraction + self.remote_fraction
+
+    def memory_cost_factor(self) -> float:
+        """Memory hardware cost relative to baseline (before the PCIe adder)."""
+        return (
+            self.local_fraction
+            + self.remote_fraction * (1.0 - REMOTE_PRICE_DISCOUNT)
+        )
+
+    def memory_power_factor(self) -> float:
+        """Memory power relative to baseline (before the PCIe adder)."""
+        return (
+            self.local_fraction
+            + self.remote_fraction * (1.0 - REMOTE_POWERDOWN_SAVINGS)
+        )
+
+
+#: Same total DRAM as baseline: 25% local, 75% on blades.
+STATIC_PARTITIONING = ProvisioningScheme(
+    name="static", local_fraction=0.25, remote_fraction=0.75
+)
+
+#: 20% of servers use only local memory: total 85% of baseline.
+DYNAMIC_PROVISIONING = ProvisioningScheme(
+    name="dynamic", local_fraction=0.25, remote_fraction=0.60
+)
+
+
+def provisioned_memory_spec(
+    baseline_memory: ComponentSpec, scheme: ProvisioningScheme
+) -> ComponentSpec:
+    """Memory component (cost, power) under a provisioning scheme.
+
+    Includes the per-server PCIe connection overhead.
+    """
+    return ComponentSpec(
+        cost_usd=baseline_memory.cost_usd * scheme.memory_cost_factor()
+        + PCIE_PER_SERVER_COST_USD,
+        power_w=baseline_memory.power_w * scheme.memory_power_factor()
+        + PCIE_PER_SERVER_POWER_W,
+    )

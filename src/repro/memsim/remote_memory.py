@@ -1,0 +1,96 @@
+"""Remote-memory traffic as an explicit simulated resource.
+
+The paper's section 3.4 evaluation is trace-driven and admits that "our
+trace-based methodology cannot account for the second-order impact of
+PCIe link contention".  This module closes that gap: it converts a
+request's CPU work into an expected number of remote-page misses (using
+the same per-workload trace calibration as the slowdown model) so the
+simulator can charge those misses against *explicit shared resources* --
+the server's PCIe link and, crucially, the memory-blade controller that
+several servers share.
+
+Per request:
+
+    page_touches  = touches_per_ms x cpu_ms_ref
+    remote_misses = page_touches x miss_rate(local_fraction)
+    link_time     = remote_misses x page_latency
+    trap_cpu_time = remote_misses x trap_overhead   (the lightweight
+                    OS/hypervisor fault handler runs on the CPU)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsim.trace import WORKLOAD_TRACES
+from repro.memsim.twolevel import (
+    PCIE_X4_PAGE_LATENCY_US,
+    TwoLevelMemorySimulator,
+)
+from repro.workloads.base import ResourceDemand
+
+#: CPU time of the lightweight trap handler per remote miss, microseconds
+#: (page-table update, DMA setup; Ekman & Stenstrom-style handler).
+DEFAULT_TRAP_OVERHEAD_US = 0.5
+
+
+@dataclass(frozen=True)
+class RemoteMemoryModel:
+    """Per-request remote-paging costs for one workload."""
+
+    workload_name: str
+    local_fraction: float = 0.25
+    page_latency_us: float = PCIE_X4_PAGE_LATENCY_US
+    trap_overhead_us: float = DEFAULT_TRAP_OVERHEAD_US
+    #: Pre-computed miss rate; filled by :func:`make_remote_memory_model`.
+    miss_rate: float = 0.0
+    touches_per_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.local_fraction <= 1:
+            raise ValueError("local fraction must be in (0, 1]")
+        if self.page_latency_us < 0 or self.trap_overhead_us < 0:
+            raise ValueError("latencies must be >= 0")
+        if not 0 <= self.miss_rate <= 1:
+            raise ValueError("miss rate must be in [0, 1]")
+        if self.touches_per_ms < 0:
+            raise ValueError("touch rate must be >= 0")
+
+    def misses_per_request(self, demand: ResourceDemand) -> float:
+        """Expected remote-page misses for one request."""
+        return self.touches_per_ms * demand.cpu_ms_ref * self.miss_rate
+
+    def link_time_ms(self, demand: ResourceDemand) -> float:
+        """PCIe/blade transfer time charged per request."""
+        return self.misses_per_request(demand) * self.page_latency_us / 1000.0
+
+    def trap_cpu_ms(self, demand: ResourceDemand) -> float:
+        """Extra CPU time for fault handling per request."""
+        return self.misses_per_request(demand) * self.trap_overhead_us / 1000.0
+
+
+def make_remote_memory_model(
+    workload_name: str,
+    local_fraction: float = 0.25,
+    page_latency_us: float = PCIE_X4_PAGE_LATENCY_US,
+    policy: str = "random",
+    trace_length: int | None = None,
+) -> RemoteMemoryModel:
+    """Build a model with the miss rate measured by the trace simulator."""
+    try:
+        spec = WORKLOAD_TRACES[workload_name]
+    except KeyError as exc:
+        raise KeyError(
+            f"no memory trace for workload {workload_name!r}; "
+            f"known: {sorted(WORKLOAD_TRACES)}"
+        ) from exc
+    stats = TwoLevelMemorySimulator(
+        spec, local_fraction, policy=policy
+    ).run(trace_length)
+    return RemoteMemoryModel(
+        workload_name=workload_name,
+        local_fraction=local_fraction,
+        page_latency_us=page_latency_us,
+        miss_rate=stats.miss_rate,
+        touches_per_ms=spec.touches_per_ms,
+    )

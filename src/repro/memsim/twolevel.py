@@ -1,0 +1,124 @@
+"""Two-level memory simulation and the remote-access slowdown model.
+
+Reproduces the paper's section 3.4 evaluation: a trace of page accesses
+runs against a local memory sized at a fraction of the workload footprint
+(the paper studies 25% and 12.5%), counting misses to the second-level
+(memory-blade) pool.  Miss latencies:
+
+- PCIe 2.0 x4, 4 KB page transfer: 4 us per miss,
+- critical-block-first (CBF) optimization: 0.75 us effective latency
+  (the faulting access completes as soon as the needed block arrives).
+
+The slowdown model follows the paper's trace methodology: each miss adds
+one remote transfer to the execution, so
+
+    slowdown = touches_per_ms * miss_rate * miss_latency_ms
+
+is the fraction of extra execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memsim.replacement import make_policy
+from repro.memsim.trace import PageTraceSpec, generate_trace
+
+#: Remote page-transfer latencies (paper section 3.4).
+PCIE_X4_PAGE_LATENCY_US = 4.0
+CBF_PAGE_LATENCY_US = 0.75
+
+#: Default trace length relative to the footprint (enough for the local
+#: memory to reach steady state; the first pass is discarded as warmup).
+_TRACE_PASSES = 8
+
+
+@dataclass(frozen=True)
+class MissStats:
+    """Outcome of one trace simulation."""
+
+    accesses: int
+    misses: int
+    local_capacity_pages: int
+    #: Victim pages written back to the blade during the measurement
+    #: window (bandwidth cost; off the critical path per the paper).
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def blade_transfers(self) -> int:
+        """Total page movements over the blade link (fetch + writeback)."""
+        return self.misses + self.writebacks
+
+
+def slowdown_fraction(
+    miss_rate: float, touches_per_ms: float, latency_us: float
+) -> float:
+    """Fractional execution-time increase from remote-memory misses."""
+    if not 0 <= miss_rate <= 1:
+        raise ValueError("miss rate must be in [0, 1]")
+    if touches_per_ms < 0 or latency_us < 0:
+        raise ValueError("invalid slowdown parameters")
+    return touches_per_ms * miss_rate * (latency_us / 1000.0)
+
+
+class TwoLevelMemorySimulator:
+    """Trace-driven simulator of the local + memory-blade hierarchy."""
+
+    def __init__(self, spec: PageTraceSpec, local_fraction: float,
+                 policy: str = "random", seed: int = 0):
+        if not 0 < local_fraction <= 1:
+            raise ValueError("local fraction must be in (0, 1]")
+        self.spec = spec
+        self.local_fraction = local_fraction
+        self.policy_name = policy
+        self.seed = seed
+        self.local_capacity = max(1, int(spec.footprint_pages * local_fraction))
+
+    def run(self, trace_length: int | None = None) -> MissStats:
+        """Simulate the trace; warmup (first footprint-fill pass) excluded."""
+        length = (
+            trace_length
+            if trace_length is not None
+            else self.spec.footprint_pages * _TRACE_PASSES
+        )
+        trace = generate_trace(self.spec, length, seed=self.seed)
+        policy = make_policy(self.policy_name, self.local_capacity, seed=self.seed)
+
+        warmup = min(self.spec.footprint_pages, length // 2)
+        misses = 0
+        accesses = 0
+        evictions_at_window = 0
+        seen: set = set()
+        for i, page in enumerate(trace):
+            page = int(page)
+            if i == warmup:
+                evictions_at_window = policy.evictions
+            first_touch = page not in seen
+            if first_touch:
+                seen.add(page)
+            hit = policy.access(page)
+            if i >= warmup:
+                accesses += 1
+                # Compulsory first touches are page allocations, not
+                # remote fetches; only genuine capacity misses pay the
+                # blade round trip.
+                if not hit and not first_touch:
+                    misses += 1
+        return MissStats(
+            accesses=accesses, misses=misses,
+            local_capacity_pages=self.local_capacity,
+            writebacks=policy.evictions - evictions_at_window,
+        )
+
+    def slowdown(self, latency_us: float, trace_length: int | None = None) -> float:
+        """End-to-end slowdown fraction at the given miss latency."""
+        stats = self.run(trace_length)
+        return slowdown_fraction(
+            stats.miss_rate, self.spec.touches_per_ms, latency_us
+        )

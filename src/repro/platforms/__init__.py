@@ -1,0 +1,45 @@
+"""Platform (device-level) models for the six systems of Table 2.
+
+A :class:`~repro.platforms.platform.Platform` composes a CPU model, a
+memory configuration, a storage device, and a NIC.  The catalog module
+instantiates the paper's six systems (srvr1, srvr2, desk, mobl, emb1,
+emb2); the calibration module holds the performance-scaling constants the
+simulator uses to turn microarchitectural parameters into throughput.
+"""
+
+from repro.platforms.cpu import CpuModel, Microarchitecture
+from repro.platforms.memory import MemoryConfig, MemoryTechnology
+from repro.platforms.storage import (
+    StorageDevice,
+    DESKTOP_DISK,
+    LAPTOP_DISK,
+    LAPTOP2_DISK,
+    FLASH_1GB,
+    SERVER_DISK_15K,
+)
+from repro.platforms.nic import Nic, GIGABIT, TEN_GIGABIT
+from repro.platforms.platform import Platform
+from repro.platforms.catalog import PLATFORMS, platform, platform_names
+from repro.platforms.calibration import CalibrationConstants, DEFAULT_CALIBRATION
+
+__all__ = [
+    "CpuModel",
+    "Microarchitecture",
+    "MemoryConfig",
+    "MemoryTechnology",
+    "StorageDevice",
+    "DESKTOP_DISK",
+    "LAPTOP_DISK",
+    "LAPTOP2_DISK",
+    "FLASH_1GB",
+    "SERVER_DISK_15K",
+    "Nic",
+    "GIGABIT",
+    "TEN_GIGABIT",
+    "Platform",
+    "PLATFORMS",
+    "platform",
+    "platform_names",
+    "CalibrationConstants",
+    "DEFAULT_CALIBRATION",
+]

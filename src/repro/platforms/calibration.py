@@ -1,0 +1,47 @@
+"""Performance-calibration constants for the platform model.
+
+The paper measures performance with a full-system simulator (COTSon); we
+replace it with a request-level model whose platform-scaling constants are
+collected here so that every assumption is explicit and testable.
+
+The constants map Table 2 microarchitecture parameters onto effective
+per-core speed:
+
+- out-of-order cores are the reference (IPC factor 1.0); in-order cores
+  (emb2's Geode/Eden-N class) sustain a substantially lower IPC on branchy
+  server code,
+- effective speed scales linearly with frequency and with an L2-size
+  factor ``(l2_mb / 8) ** cache_sensitivity`` where the sensitivity
+  exponent is a workload property (0 for streaming workloads).
+
+The reference core is srvr1's 2.6 GHz out-of-order core with 8 MB L2;
+workload CPU demands are expressed in milliseconds on that core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CalibrationConstants:
+    """Platform-model scaling constants (shared across workloads)."""
+
+    #: IPC factor of out-of-order cores (reference).
+    ipc_out_of_order: float = 1.0
+    #: IPC factor of single-issue in-order cores on server code.
+    ipc_in_order: float = 0.45
+    #: L2 size of the reference core, MB.
+    reference_l2_mb: float = 8.0
+    #: Effective speed of the reference core (GHz x IPC factor).
+    reference_core_speed: float = 2.6
+
+    def __post_init__(self) -> None:
+        if not 0 < self.ipc_in_order <= self.ipc_out_of_order:
+            raise ValueError("need 0 < ipc_in_order <= ipc_out_of_order")
+        if self.reference_l2_mb <= 0 or self.reference_core_speed <= 0:
+            raise ValueError("reference parameters must be positive")
+
+
+#: Default calibration used by the platform catalog.
+DEFAULT_CALIBRATION = CalibrationConstants()

@@ -1,0 +1,107 @@
+"""The six-platform catalog (paper Table 2).
+
+===== ===================== ============================================ ==== =====
+Name  Similar to            Features                                     Watt Inf-$
+===== ===================== ============================================ ==== =====
+srvr1 Xeon MP / Opteron MP  2p x 4 cores, 2.6 GHz, OoO, 64K/8MB L1/L2    340  3,294
+srvr2 Xeon / Opteron        1p x 4 cores, 2.6 GHz, OoO, 64K/8MB L1/L2    215  1,689
+desk  Core 2 / Athlon 64    1p x 2 cores, 2.2 GHz, OoO, 32K/2MB L1/L2    135    849
+mobl  Core 2 Mobile/Turion  1p x 2 cores, 2.0 GHz, OoO, 32K/2MB L1/L2     78    989
+emb1  PA Semi / emb. Athlon 1p x 2 cores, 1.2 GHz, OoO, 32K/1MB L1/L2     52    499
+emb2  AMD Geode / VIA Eden  1p x 1 core, 600 MHz, in-order, 32K/128K      35    379
+===== ===================== ============================================ ==== =====
+
+All systems carry 4 GB of memory (FB-DIMM, DDR2, or DDR1).  srvr1 has a
+15k RPM disk and a 10 GbE NIC; all others a 7.2k RPM desktop disk and
+1 GbE.  Channel counts reflect typical 2008-era platforms: two FB-DIMM
+channels per server socket, dual-channel DDR2 on desktop/mobile, single
+channel on the embedded boards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.platforms.cpu import CpuModel, Microarchitecture
+from repro.platforms.memory import MemoryConfig, MemoryTechnology
+from repro.platforms.nic import GIGABIT, TEN_GIGABIT
+from repro.platforms.platform import Platform
+from repro.platforms.storage import DESKTOP_DISK, SERVER_DISK_15K
+
+_OOO = Microarchitecture.OUT_OF_ORDER
+_INO = Microarchitecture.IN_ORDER
+
+
+PLATFORMS: Dict[str, Platform] = {
+    "srvr1": Platform(
+        name="srvr1",
+        cpu=CpuModel("srvr1-cpu", sockets=2, cores_per_socket=4,
+                     frequency_ghz=2.6, microarchitecture=_OOO,
+                     l1_kb=64, l2_kb=8192),
+        memory=MemoryConfig(
+            4.0, MemoryTechnology.FBDIMM, channels=4, numa_efficiency=0.75
+        ),
+        disk=SERVER_DISK_15K,
+        nic=TEN_GIGABIT,
+    ),
+    "srvr2": Platform(
+        name="srvr2",
+        cpu=CpuModel("srvr2-cpu", sockets=1, cores_per_socket=4,
+                     frequency_ghz=2.6, microarchitecture=_OOO,
+                     l1_kb=64, l2_kb=8192),
+        memory=MemoryConfig(4.0, MemoryTechnology.FBDIMM, channels=2),
+        disk=DESKTOP_DISK,
+        nic=GIGABIT,
+    ),
+    "desk": Platform(
+        name="desk",
+        cpu=CpuModel("desk-cpu", sockets=1, cores_per_socket=2,
+                     frequency_ghz=2.2, microarchitecture=_OOO,
+                     l1_kb=32, l2_kb=2048),
+        memory=MemoryConfig(4.0, MemoryTechnology.DDR2, channels=2),
+        disk=DESKTOP_DISK,
+        nic=GIGABIT,
+    ),
+    "mobl": Platform(
+        name="mobl",
+        cpu=CpuModel("mobl-cpu", sockets=1, cores_per_socket=2,
+                     frequency_ghz=2.0, microarchitecture=_OOO,
+                     l1_kb=32, l2_kb=2048),
+        memory=MemoryConfig(4.0, MemoryTechnology.DDR2, channels=2),
+        disk=DESKTOP_DISK,
+        nic=GIGABIT,
+    ),
+    "emb1": Platform(
+        name="emb1",
+        cpu=CpuModel("emb1-cpu", sockets=1, cores_per_socket=2,
+                     frequency_ghz=1.2, microarchitecture=_OOO,
+                     l1_kb=32, l2_kb=1024),
+        memory=MemoryConfig(4.0, MemoryTechnology.DDR2, channels=1),
+        disk=DESKTOP_DISK,
+        nic=GIGABIT,
+    ),
+    "emb2": Platform(
+        name="emb2",
+        cpu=CpuModel("emb2-cpu", sockets=1, cores_per_socket=1,
+                     frequency_ghz=0.6, microarchitecture=_INO,
+                     l1_kb=32, l2_kb=128),
+        memory=MemoryConfig(4.0, MemoryTechnology.DDR1, channels=1),
+        disk=DESKTOP_DISK,
+        nic=GIGABIT,
+    ),
+}
+
+
+def platform(name: str) -> Platform:
+    """Look up a catalog platform by system name."""
+    try:
+        return PLATFORMS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown platform {name!r}; known platforms: {sorted(PLATFORMS)}"
+        ) from exc
+
+
+def platform_names() -> List[str]:
+    """Catalog platforms in the paper's Table 2 order."""
+    return ["srvr1", "srvr2", "desk", "mobl", "emb1", "emb2"]

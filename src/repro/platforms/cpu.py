@@ -1,0 +1,68 @@
+"""CPU models mirroring the paper's Table 2 microarchitecture column.
+
+Each system is described by socket count, cores per socket, frequency,
+issue style (out-of-order vs in-order) and L1/L2 cache sizes, e.g.
+srvr1 = "2p x 4 cores, 2.6 GHz, OoO, 64K/8MB L1/L2".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Microarchitecture(enum.Enum):
+    """Issue style; in-order cores sustain a lower IPC on server code."""
+
+    OUT_OF_ORDER = "OoO"
+    IN_ORDER = "in-order"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """One CPU configuration from Table 2."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    frequency_ghz: float
+    microarchitecture: Microarchitecture
+    l1_kb: int
+    l2_kb: int
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0 or self.cores_per_socket <= 0:
+            raise ValueError("sockets and cores_per_socket must be positive")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.l1_kb <= 0 or self.l2_kb <= 0:
+            raise ValueError("cache sizes must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Total hardware cores across all sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def l2_mb(self) -> float:
+        return self.l2_kb / 1024.0
+
+    @property
+    def is_out_of_order(self) -> bool:
+        return self.microarchitecture is Microarchitecture.OUT_OF_ORDER
+
+    def summary(self) -> str:
+        """Table 2-style one-line description."""
+        l2 = f"{self.l2_kb // 1024}MB" if self.l2_kb >= 1024 else f"{self.l2_kb}K"
+        freq = (
+            f"{self.frequency_ghz:.1f} GHz"
+            if self.frequency_ghz >= 1
+            else f"{self.frequency_ghz * 1000:.0f}MHz"
+        )
+        return (
+            f"{self.sockets}p x {self.cores_per_socket} cores, {freq}, "
+            f"{self.microarchitecture}, {self.l1_kb}K/{l2} L1/L2"
+        )

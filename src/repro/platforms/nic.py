@@ -1,0 +1,43 @@
+"""Network interface models.
+
+Table 2: srvr1 carries a 10-gigabit NIC; every other system a 1-gigabit
+NIC.  Service times in the simulator are dominated by wire transfer time,
+so the model is bandwidth plus a small fixed per-transfer overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Nic:
+    """One network interface: line rate and per-transfer overhead."""
+
+    name: str
+    bandwidth_gbps: float
+    per_transfer_overhead_ms: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.per_transfer_overhead_ms < 0:
+            raise ValueError("overhead must be >= 0")
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        """Usable bandwidth in megabytes/second (8 bits/byte, no headroom)."""
+        return self.bandwidth_gbps * 1000.0 / 8.0
+
+    def transfer_time_ms(self, num_bytes: float) -> float:
+        """Wire time for one transfer of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("transfer size must be >= 0")
+        return self.per_transfer_overhead_ms + num_bytes / (self.bandwidth_mb_s * 1000.0)
+
+
+#: 1 GbE NIC used by every system except srvr1.
+GIGABIT = Nic(name="1GbE", bandwidth_gbps=1.0)
+
+#: 10 GbE NIC used by srvr1.
+TEN_GIGABIT = Nic(name="10GbE", bandwidth_gbps=10.0)

@@ -1,0 +1,50 @@
+"""Request-level discrete-event server simulator and analytic model.
+
+This package replaces the paper's COTSon full-system simulation and
+Perl client driver:
+
+- :mod:`~repro.simulator.engine` -- event-driven simulation core.
+- :mod:`~repro.simulator.resources` -- multi-server FCFS resources
+  (CPU cores, memory channels, disk, NIC).
+- :mod:`~repro.simulator.server_sim` -- a closed-loop server simulation:
+  N clients with think time issuing workload requests against platform
+  resources, measuring throughput and tail latency.
+- :mod:`~repro.simulator.sweep` -- the adaptive client driver: finds the
+  highest throughput that still meets the workload's QoS.
+- :mod:`~repro.simulator.analytic` -- approximate mean-value analysis of
+  the same closed queueing network, used for fast exploration and
+  cross-validation of the DES.
+- :mod:`~repro.simulator.performance` -- the top-level entry point that
+  scores one (platform, workload) pair the way Figure 2(c) does.
+"""
+
+from repro.simulator.engine import Simulation
+from repro.simulator.resources import Resource
+from repro.simulator.server_sim import ServerSimulator, SimConfig, SimResult
+from repro.simulator.openloop import OpenLoopSimulator
+from repro.simulator.telemetry import LatencyHistogram, TimeSeries
+from repro.simulator.sweep import QosSweep, SweepResult
+from repro.simulator.analytic import AnalyticServerModel, mva_throughput
+from repro.simulator.performance import (
+    PerformanceResult,
+    measure_performance,
+    relative_performance_matrix,
+)
+
+__all__ = [
+    "Simulation",
+    "Resource",
+    "ServerSimulator",
+    "SimConfig",
+    "SimResult",
+    "OpenLoopSimulator",
+    "LatencyHistogram",
+    "TimeSeries",
+    "QosSweep",
+    "SweepResult",
+    "AnalyticServerModel",
+    "mva_throughput",
+    "PerformanceResult",
+    "measure_performance",
+    "relative_performance_matrix",
+]

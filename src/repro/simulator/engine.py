@@ -1,0 +1,55 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event loop: callbacks scheduled at absolute simulated
+times (milliseconds), executed in time order with FIFO tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+Callback = Callable[[], None]
+
+
+class Simulation:
+    """An event-driven simulation clock and scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._now = 0.0
+        self._seq = 0
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    def schedule(self, delay_ms: float, callback: Callback) -> None:
+        """Run ``callback`` after ``delay_ms`` of simulated time."""
+        if delay_ms < 0:
+            raise ValueError(f"cannot schedule in the past (delay {delay_ms})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay_ms, self._seq, callback))
+
+    def stop(self) -> None:
+        """Stop the event loop after the current callback returns."""
+        self._stopped = True
+
+    def run(self, until_ms: Optional[float] = None) -> None:
+        """Process events until the queue drains, ``stop()`` is called, or
+        the clock would pass ``until_ms``."""
+        self._stopped = False
+        while self._heap and not self._stopped:
+            time, _, callback = self._heap[0]
+            if until_ms is not None and time > until_ms:
+                self._now = until_ms
+                return
+            heapq.heappop(self._heap)
+            self._now = time
+            callback()
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,145 @@
+"""Top-level performance scoring, the way the paper reports it.
+
+- Interactive benchmarks (websearch, webmail, ytube): requests/second at
+  the QoS-constrained peak found by the adaptive driver.
+- Batch benchmarks (mapred-wc, mapred-wr): job execution time with the
+  fixed thread population; the *score* used in ratios is the reciprocal
+  of execution time, matching the paper's harmonic-mean treatment
+  ("throughput and reciprocal of execution times").
+
+``relative_performance_matrix`` reproduces the "Perf" block of Figure
+2(c): every (benchmark, system) cell as a fraction of srvr1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.platforms.catalog import platform as _platform
+from repro.platforms.platform import Platform
+from repro.simulator.analytic import AnalyticServerModel
+from repro.simulator.server_sim import DiskModel, ServerSimulator, SimConfig, SimResult
+from repro.simulator.sweep import QosSweep
+from repro.workloads.base import MetricKind, Workload
+from repro.workloads.suite import make_workload
+
+
+@dataclass(frozen=True)
+class PerformanceResult:
+    """Score of one (platform, workload) pair."""
+
+    platform: str
+    workload: str
+    metric_kind: MetricKind
+    #: requests/second for interactive benchmarks; tasks/second for batch.
+    throughput_rps: float
+    #: job execution time in seconds (batch benchmarks only).
+    execution_time_s: Optional[float]
+    qos_met: bool
+
+    @property
+    def score(self) -> float:
+        """Scalar used in performance ratios and harmonic means."""
+        if self.metric_kind is MetricKind.EXECUTION_TIME:
+            assert self.execution_time_s is not None
+            return 1.0 / self.execution_time_s
+        return self.throughput_rps
+
+
+def measure_performance(
+    platform: Platform,
+    workload: Workload,
+    config: SimConfig = SimConfig(),
+    disk_model: Optional[DiskModel] = None,
+    memory_slowdown: float = 1.0,
+    method: str = "sim",
+) -> PerformanceResult:
+    """Score one (platform, workload) pair.
+
+    ``method='sim'`` runs the DES (with the adaptive QoS driver for
+    interactive benchmarks); ``method='analytic'`` uses the MVA model
+    (no QoS constraint -- useful for fast exploration).
+    """
+    profile = workload.profile
+    if method not in ("sim", "analytic"):
+        raise ValueError(f"unknown method {method!r}")
+
+    if method == "analytic":
+        disk_service = None
+        if disk_model is not None:
+            mean_service = getattr(disk_model, "mean_service_ms", None)
+            if mean_service is None:
+                raise ValueError(
+                    "analytic method needs a disk model with mean_service_ms"
+                )
+            disk_service = mean_service(workload.mean_demand())
+        model = AnalyticServerModel(
+            platform,
+            workload,
+            disk_service_ms=disk_service,
+            cpu_multiplier=memory_slowdown,
+        )
+        rps = model.throughput_rps()
+        qos_met = True
+    elif profile.metric_kind is MetricKind.EXECUTION_TIME:
+        result = ServerSimulator(
+            platform,
+            workload,
+            config=config,
+            disk_model=disk_model,
+            memory_slowdown=memory_slowdown,
+        ).run()
+        rps = result.throughput_rps
+        qos_met = True
+    else:
+        sweep = QosSweep(
+            platform,
+            workload,
+            config=config,
+            disk_model=disk_model,
+            memory_slowdown=memory_slowdown,
+        ).find_peak()
+        rps = sweep.throughput_rps
+        qos_met = sweep.qos_met
+
+    execution_time = None
+    if profile.metric_kind is MetricKind.EXECUTION_TIME:
+        execution_time = profile.total_work_units / max(rps, 1e-12)
+
+    return PerformanceResult(
+        platform=platform.name,
+        workload=workload.name,
+        metric_kind=profile.metric_kind,
+        throughput_rps=rps,
+        execution_time_s=execution_time,
+        qos_met=qos_met,
+    )
+
+
+def relative_performance_matrix(
+    system_names: Iterable[str],
+    benchmark_names: Iterable[str],
+    baseline: str = "srvr1",
+    method: str = "sim",
+    config: SimConfig = SimConfig(),
+) -> Dict[str, Dict[str, float]]:
+    """Figure 2(c) "Perf" block: scores relative to ``baseline``.
+
+    Returns ``{benchmark: {system: fraction_of_baseline}}``.
+    """
+    systems = list(system_names)
+    if baseline not in systems:
+        systems = [baseline] + systems
+    matrix: Dict[str, Dict[str, float]] = {}
+    for bench in benchmark_names:
+        workload = make_workload(bench)
+        scores = {
+            name: measure_performance(
+                _platform(name), workload, config=config, method=method
+            ).score
+            for name in systems
+        }
+        base = scores[baseline]
+        matrix[bench] = {name: scores[name] / base for name in systems}
+    return matrix

@@ -1,0 +1,77 @@
+"""Multi-server FCFS resources for the server simulator.
+
+Each server resource (CPU core pool, memory channels, disk, NIC) is a
+:class:`Resource`: ``servers`` identical service stations fed by one FCFS
+queue.  Jobs are (service-time, completion-callback) pairs; the resource
+tracks busy time and completions for utilization reporting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Tuple
+
+from repro.simulator.engine import Simulation
+
+
+@dataclass
+class ResourceStats:
+    """Aggregate counters for one resource."""
+
+    busy_time_ms: float = 0.0
+    completions: int = 0
+    peak_queue: int = 0
+
+
+class Resource:
+    """``servers`` parallel stations behind one FCFS queue."""
+
+    def __init__(self, sim: Simulation, name: str, servers: int):
+        if servers <= 0:
+            raise ValueError("server count must be positive")
+        self._sim = sim
+        self.name = name
+        self.servers = servers
+        self._busy = 0
+        self._queue: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self.stats = ResourceStats()
+
+    def acquire(self, service_ms: float, done: Callable[[], None]) -> None:
+        """Request ``service_ms`` of service; ``done`` fires on completion."""
+        if service_ms < 0:
+            raise ValueError("service time must be >= 0")
+        if self._busy < self.servers:
+            self._start(service_ms, done)
+        else:
+            self._queue.append((service_ms, done))
+            if len(self._queue) > self.stats.peak_queue:
+                self.stats.peak_queue = len(self._queue)
+
+    def _start(self, service_ms: float, done: Callable[[], None]) -> None:
+        self._busy += 1
+        self.stats.busy_time_ms += service_ms
+
+        def finish() -> None:
+            self._busy -= 1
+            if self._queue:
+                next_service, next_done = self._queue.popleft()
+                self._start(next_service, next_done)
+            self.stats.completions += 1
+            done()
+
+        self._sim.schedule(service_ms, finish)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    def utilization(self, elapsed_ms: float) -> float:
+        """Mean fraction of stations busy over ``elapsed_ms``."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time_ms / (self.servers * elapsed_ms))

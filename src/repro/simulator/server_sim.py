@@ -1,0 +1,260 @@
+"""Closed-loop server simulation.
+
+``population`` clients each loop: think (exponential), issue one request,
+wait for its response, repeat.  A request visits the server's resources in
+order -- CPU cores, memory channels, disk, NIC -- with service times
+derived from the request's platform-independent demand through the
+:class:`~repro.platforms.platform.Platform` model.
+
+Measurement uses a completion-count protocol: the first
+``warmup_requests`` completions are discarded, the next
+``measure_requests`` completions define the measurement window, and
+throughput is completions divided by window duration.  Response times of
+requests completing inside the window feed the QoS tracker.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol
+
+from repro.platforms.platform import Platform
+from repro.simulator.engine import Simulation
+from repro.simulator.resources import Resource
+from repro.workloads.base import ResourceDemand, Workload
+from repro.workloads.qos import QosTracker
+
+
+class DiskModel(Protocol):
+    """Strategy for turning a request's disk demand into service time.
+
+    The default uses the platform's disk device directly; the flash-cache
+    experiments (paper section 3.5) substitute a model that consults the
+    flash cache first.
+    """
+
+    def service_ms(self, demand: ResourceDemand, rng: random.Random) -> float:
+        """Disk service time for one request."""
+        ...  # pragma: no cover - protocol
+
+
+class PlatformDiskModel:
+    """Default disk model: every I/O goes to the platform's disk."""
+
+    def __init__(self, platform: Platform):
+        self._platform = platform
+
+    def service_ms(self, demand: ResourceDemand, rng: random.Random) -> float:
+        return self._platform.disk_time_ms(
+            demand.disk_ios, demand.disk_bytes, write=demand.disk_write
+        )
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Measurement-protocol parameters."""
+
+    warmup_requests: int = 300
+    measure_requests: int = 2500
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.warmup_requests < 0 or self.measure_requests <= 0:
+            raise ValueError("invalid request counts")
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    throughput_rps: float
+    mean_response_ms: float
+    qos_percentile_ms: float
+    qos_met: bool
+    utilization: Dict[str, float]
+    population: int
+    measured_requests: int
+
+    def describe(self) -> str:
+        flags = "" if self.qos_met else " [QoS violated]"
+        return (
+            f"{self.throughput_rps:.2f} req/s, mean {self.mean_response_ms:.1f} ms,"
+            f" p95 {self.qos_percentile_ms:.1f} ms{flags}"
+        )
+
+
+class ServerSimulator:
+    """Simulates one server of ``platform`` running ``workload``."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        workload: Workload,
+        population: Optional[int] = None,
+        config: SimConfig = SimConfig(),
+        disk_model: Optional[DiskModel] = None,
+        memory_slowdown: float = 1.0,
+    ):
+        if population is not None and population <= 0:
+            raise ValueError("population must be positive")
+        if memory_slowdown < 1.0:
+            raise ValueError("memory_slowdown is a multiplier >= 1.0")
+        self._platform = platform
+        self._workload = workload
+        self._profile = workload.profile
+        self._population = (
+            population
+            if population is not None
+            else self._profile.population.population(platform.cpu.total_cores)
+        )
+        self._config = config
+        self._disk_model = disk_model or PlatformDiskModel(platform)
+        #: Uniform CPU-time multiplier modelling remote-memory paging
+        #: overhead (paper section 3.4's "2% slowdown" style adjustments).
+        self._memory_slowdown = memory_slowdown
+
+    @property
+    def population(self) -> int:
+        return self._population
+
+    def run(self) -> SimResult:
+        """Execute the closed-loop simulation and return measurements."""
+        sim = Simulation()
+        rng = random.Random(self._config.seed)
+        platform = self._platform
+        profile = self._profile
+
+        cpu = Resource(sim, "cpu", platform.cpu.total_cores)
+        mem = Resource(sim, "mem", platform.memory.channels)
+        disk = Resource(sim, "disk", 1)
+        nic = Resource(sim, "nic", 1)
+
+        warmup = self._config.warmup_requests
+        measure = self._config.measure_requests
+        state = _MeasureState(warmup=warmup, target=measure)
+        qos = QosTracker(profile.qos) if profile.qos else None
+        responses: list = []
+        busy_at_start: Dict[str, float] = {r.name: 0.0 for r in (cpu, mem, disk, nic)}
+
+        def client_loop() -> None:
+            if state.done:
+                return
+            think = (
+                rng.expovariate(1.0 / profile.think_time_ms)
+                if profile.think_time_ms > 0
+                else 0.0
+            )
+            sim.schedule(think, issue_request)
+
+        def issue_request() -> None:
+            if state.done:
+                return
+            request = self._workload.sample(rng)
+            demand = request.demand
+            start = sim.now
+
+            cpu_ms = (
+                platform.cpu_time_ms(
+                    demand.cpu_ms_ref,
+                    profile.cache_sensitivity,
+                    profile.inorder_ipc_factor,
+                    profile.stall_fraction,
+                )
+                * self._memory_slowdown
+            )
+            mem_ms = platform.memory_channel_time_ms(demand.mem_ms_ref)
+            disk_ms = self._disk_model.service_ms(demand, rng)
+            net_ms = platform.net_time_ms(demand.net_bytes)
+
+            def after_net() -> None:
+                _complete(start)
+
+            def after_disk() -> None:
+                nic.acquire(net_ms, after_net)
+
+            def after_mem() -> None:
+                disk.acquire(disk_ms, after_disk)
+
+            def after_cpu() -> None:
+                mem.acquire(mem_ms, after_mem)
+
+            # Fork/join: requests with software parallelism split their
+            # CPU work into concurrent slices across cores (total work
+            # unchanged; latency shrinks when cores are free).
+            slices = max(1, min(platform.cpu.total_cores, demand.cpu_parallelism))
+            if slices == 1:
+                cpu.acquire(cpu_ms, after_cpu)
+            else:
+                join = {"remaining": slices}
+
+                def after_slice() -> None:
+                    join["remaining"] -= 1
+                    if join["remaining"] == 0:
+                        after_cpu()
+
+                for _ in range(slices):
+                    cpu.acquire(cpu_ms / slices, after_slice)
+
+        def _complete(start_ms: float) -> None:
+            state.completions += 1
+            if state.completions == warmup:
+                state.window_start = sim.now
+                for resource in (cpu, mem, disk, nic):
+                    busy_at_start[resource.name] = resource.stats.busy_time_ms
+            elif state.completions > warmup and not state.done:
+                response = sim.now - start_ms
+                responses.append(response)
+                if qos is not None:
+                    qos.record(response)
+                if state.completions >= warmup + measure:
+                    state.done = True
+                    state.window_end = sim.now
+                    sim.stop()
+                    return
+            client_loop()
+
+        for _ in range(self._population):
+            client_loop()
+        sim.run()
+
+        if not state.done:
+            raise RuntimeError(
+                "simulation drained its event queue before the measurement "
+                "window completed; increase population or request counts"
+            )
+
+        window = max(state.window_end - state.window_start, 1e-9)
+        throughput = len(responses) / (window / 1000.0)
+        mean_response = sum(responses) / len(responses)
+        percentile = qos.percentile_ms() if qos and qos.count else mean_response
+        qos_met = qos.satisfied() if qos else True
+
+        return SimResult(
+            throughput_rps=throughput,
+            mean_response_ms=mean_response,
+            qos_percentile_ms=percentile,
+            qos_met=qos_met,
+            utilization={
+                r.name: min(
+                    1.0,
+                    (r.stats.busy_time_ms - busy_at_start[r.name])
+                    / (r.servers * window),
+                )
+                for r in (cpu, mem, disk, nic)
+            },
+            population=self._population,
+            measured_requests=len(responses),
+        )
+
+
+@dataclass
+class _MeasureState:
+    """Mutable counters shared by the simulation callbacks."""
+
+    warmup: int
+    target: int
+    completions: int = 0
+    window_start: float = 0.0
+    window_end: float = 0.0
+    done: bool = False

@@ -1,0 +1,149 @@
+"""Adaptive client driver: maximum throughput under QoS.
+
+The paper's Perl-based client driver "can adapt the number of simultaneous
+clients according to recently observed QoS results, to achieve the highest
+level of throughput without overloading the servers."  This module
+reproduces that control loop on top of the DES:
+
+1. Start from an analytic estimate of the saturating population.
+2. Grow the population geometrically while QoS holds and throughput still
+   improves.
+3. Binary-search the boundary between the last passing and first failing
+   population.
+
+If QoS cannot be met even with a single client (e.g. emb2 running
+webmail, where one request's service time already exceeds the latency
+budget), the driver reports the single-client throughput with
+``qos_met=False`` -- the platform runs in a degraded mode, matching the
+paper's observation that emb2 "consistently underperforms".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.platforms.platform import Platform
+from repro.simulator.analytic import AnalyticServerModel
+from repro.simulator.server_sim import DiskModel, ServerSimulator, SimConfig, SimResult
+from repro.workloads.base import Workload
+
+#: Stop growing the population when throughput improves less than this.
+_MIN_GAIN = 0.02
+#: Hard cap on client population explored by the driver.
+_MAX_POPULATION = 4096
+
+
+@dataclass
+class SweepResult:
+    """Best operating point found by the adaptive driver."""
+
+    best: SimResult
+    population: int
+    evaluations: int
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.best.throughput_rps
+
+    @property
+    def qos_met(self) -> bool:
+        return self.best.qos_met
+
+
+class QosSweep:
+    """Finds the peak-QoS operating point for one (platform, workload)."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        workload: Workload,
+        config: SimConfig = SimConfig(),
+        disk_model: Optional[DiskModel] = None,
+        memory_slowdown: float = 1.0,
+    ):
+        self._platform = platform
+        self._workload = workload
+        self._config = config
+        self._disk_model = disk_model
+        self._memory_slowdown = memory_slowdown
+        self._cache: Dict[int, SimResult] = {}
+
+    def explored(self) -> Dict[int, SimResult]:
+        """All operating points simulated so far (population -> result)."""
+        return dict(self._cache)
+
+    def _simulate(self, population: int) -> SimResult:
+        if population not in self._cache:
+            self._cache[population] = ServerSimulator(
+                self._platform,
+                self._workload,
+                population=population,
+                config=self._config,
+                disk_model=self._disk_model,
+                memory_slowdown=self._memory_slowdown,
+            ).run()
+        return self._cache[population]
+
+    def _max_population(self) -> int:
+        cap = self._workload.profile.max_population
+        return min(cap, _MAX_POPULATION) if cap is not None else _MAX_POPULATION
+
+    def _initial_population(self) -> int:
+        """Analytic warm start: population that saturates the bottleneck."""
+        model = AnalyticServerModel(self._platform, self._workload)
+        saturation = model.saturation_rps() / 1000.0  # per ms
+        demands = sum(d for d, _ in model.service_demands())
+        think = self._workload.profile.think_time_ms
+        estimate = int(saturation * (think + demands)) or 1
+        return max(2, min(estimate, self._max_population()))
+
+    def find_peak(self) -> SweepResult:
+        """Run the adaptive search and return the best operating point."""
+        population = self._initial_population()
+        result = self._simulate(population)
+
+        if not result.qos_met:
+            # Shrink until QoS holds (or we bottom out at one client).
+            low_pop, low = population, result
+            while low_pop > 1 and not low.qos_met:
+                low_pop = max(1, low_pop // 2)
+                low = self._simulate(low_pop)
+            if not low.qos_met:
+                return SweepResult(best=low, population=low_pop,
+                                   evaluations=len(self._cache))
+            best_pop, best = low_pop, low
+            fail_pop = low_pop * 2
+        else:
+            # Grow while QoS holds and throughput still improves.
+            best_pop, best = population, result
+            fail_pop = None
+            max_pop = self._max_population()
+            while best_pop < max_pop:
+                nxt = min(best_pop * 2, max_pop)
+                candidate = self._simulate(nxt)
+                if not candidate.qos_met:
+                    fail_pop = nxt
+                    break
+                gain = (candidate.throughput_rps - best.throughput_rps) / max(
+                    best.throughput_rps, 1e-9
+                )
+                best_pop, best = nxt, candidate
+                if gain < _MIN_GAIN:
+                    return SweepResult(best=best, population=best_pop,
+                                       evaluations=len(self._cache))
+
+        # Binary-search the QoS boundary.
+        if fail_pop is not None:
+            lo, hi = best_pop, fail_pop
+            while hi - lo > max(1, lo // 8):
+                mid = (lo + hi) // 2
+                candidate = self._simulate(mid)
+                if candidate.qos_met:
+                    lo = mid
+                    if candidate.throughput_rps > best.throughput_rps:
+                        best_pop, best = mid, candidate
+                else:
+                    hi = mid
+        return SweepResult(best=best, population=best_pop,
+                           evaluations=len(self._cache))

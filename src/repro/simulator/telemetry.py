@@ -1,0 +1,137 @@
+"""Latency histograms and time-bucketed utilization series.
+
+Lightweight telemetry for inspecting simulation runs: a logarithmic
+latency histogram (constant relative resolution, like HdrHistogram's
+coarse mode) and a bucketed time series for utilization/throughput
+timelines.  Both are pure accumulators, usable inside or outside the
+simulators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class LatencyHistogram:
+    """Log-bucketed histogram with percentile queries.
+
+    Buckets grow geometrically by ``growth`` per step starting at
+    ``min_value_ms``; each recorded value lands in one bucket, so
+    percentile answers carry at most one bucket of relative error.
+    """
+
+    def __init__(
+        self,
+        min_value_ms: float = 0.01,
+        max_value_ms: float = 600_000.0,
+        growth: float = 1.15,
+    ):
+        if min_value_ms <= 0 or max_value_ms <= min_value_ms:
+            raise ValueError("need 0 < min < max")
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        self._min = min_value_ms
+        self._log_growth = math.log(growth)
+        self._bucket_count = (
+            int(math.log(max_value_ms / min_value_ms) / self._log_growth) + 2
+        )
+        self._counts = [0] * self._bucket_count
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def _bucket(self, value_ms: float) -> int:
+        if value_ms <= self._min:
+            return 0
+        index = int(math.log(value_ms / self._min) / self._log_growth) + 1
+        return min(index, self._bucket_count - 1)
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """(low, high) bounds of one bucket, ms."""
+        if not 0 <= index < self._bucket_count:
+            raise IndexError(f"bucket {index} out of range")
+        if index == 0:
+            return (0.0, self._min)
+        low = self._min * math.exp(self._log_growth * (index - 1))
+        return (low, low * math.exp(self._log_growth))
+
+    def record(self, value_ms: float) -> None:
+        if value_ms < 0:
+            raise ValueError("latency must be >= 0")
+        self._counts[self._bucket(value_ms)] += 1
+        self._total += 1
+        self._sum += value_ms
+        self._max = max(self._max, value_ms)
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def mean_ms(self) -> float:
+        return self._sum / self._total if self._total else 0.0
+
+    @property
+    def max_ms(self) -> float:
+        return self._max
+
+    def percentile_ms(self, percentile: float) -> float:
+        """Upper bound of the bucket holding the percentile sample."""
+        if not 0 < percentile <= 1:
+            raise ValueError("percentile must be in (0, 1]")
+        if self._total == 0:
+            raise ValueError("histogram is empty")
+        target = math.ceil(percentile * self._total)
+        seen = 0
+        for index, count in enumerate(self._counts):
+            seen += count
+            if seen >= target:
+                if index == self._bucket_count - 1:
+                    # Overflow bucket: its nominal bound can sit below the
+                    # clamped samples; the observed max is the honest answer.
+                    return self._max
+                return min(self.bucket_bounds(index)[1], self._max)
+        return self._max  # pragma: no cover - defensive
+
+    def nonzero_buckets(self) -> List[Tuple[float, float, int]]:
+        """(low, high, count) for every populated bucket."""
+        return [
+            (*self.bucket_bounds(i), count)
+            for i, count in enumerate(self._counts)
+            if count
+        ]
+
+
+@dataclass
+class TimeSeries:
+    """Fixed-width time buckets accumulating a value (e.g. completions)."""
+
+    bucket_ms: float
+
+    def __post_init__(self) -> None:
+        if self.bucket_ms <= 0:
+            raise ValueError("bucket width must be positive")
+        self._buckets: Dict[int, float] = {}
+
+    def record(self, time_ms: float, value: float = 1.0) -> None:
+        if time_ms < 0:
+            raise ValueError("time must be >= 0")
+        index = int(time_ms / self.bucket_ms)
+        self._buckets[index] = self._buckets.get(index, 0.0) + value
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(bucket start ms, accumulated value), gaps filled with zero."""
+        if not self._buckets:
+            return []
+        last = max(self._buckets)
+        return [
+            (i * self.bucket_ms, self._buckets.get(i, 0.0))
+            for i in range(last + 1)
+        ]
+
+    def rate_per_second(self) -> List[Tuple[float, float]]:
+        """(bucket start ms, value per second within the bucket)."""
+        scale = 1000.0 / self.bucket_ms
+        return [(t, v * scale) for t, v in self.series()]

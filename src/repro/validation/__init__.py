@@ -1,0 +1,38 @@
+"""Paper reference data and reproduction-quality reports.
+
+- :mod:`~repro.validation.reference` -- every number the paper publishes
+  in its evaluation (Figures 1-5, Tables 1-3), as structured data.
+- :mod:`~repro.validation.compare` -- compares regenerated results
+  against the reference and renders per-cell delta reports (the data
+  behind EXPERIMENTS.md).
+"""
+
+from repro.validation.reference import (
+    PAPER_FIGURE1,
+    PAPER_FIGURE2C_PERF,
+    PAPER_FIGURE2C_PERF_INF,
+    PAPER_FIGURE2C_PERF_TCO,
+    PAPER_FIGURE2C_PERF_W,
+    PAPER_FIGURE4B_PCIE,
+    PAPER_FIGURE4C,
+    PAPER_FIGURE5_TCO,
+    PAPER_TABLE2,
+    PAPER_TABLE3B,
+)
+from repro.validation.compare import CellDelta, compare_matrix, render_comparison
+
+__all__ = [
+    "PAPER_FIGURE1",
+    "PAPER_FIGURE2C_PERF",
+    "PAPER_FIGURE2C_PERF_INF",
+    "PAPER_FIGURE2C_PERF_TCO",
+    "PAPER_FIGURE2C_PERF_W",
+    "PAPER_FIGURE4B_PCIE",
+    "PAPER_FIGURE4C",
+    "PAPER_FIGURE5_TCO",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3B",
+    "CellDelta",
+    "compare_matrix",
+    "render_comparison",
+]

@@ -1,0 +1,125 @@
+"""The paper's published evaluation numbers, as structured data.
+
+Transcribed from Lim et al., ISCA 2008.  All relative values are
+fractions of the srvr1 baseline (the paper prints percentages).  Where
+the paper gives only a chart (Figure 5), values are the chart's labeled
+gridline readings and the text's stated ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Figure 1(a): cost-model totals, dollars.
+PAPER_FIGURE1: Dict[str, Dict[str, float]] = {
+    "srvr1": {
+        "per_server_cost": 3225.0,
+        "power_w": 340.0,
+        "power_cooling_3yr": 2464.0,
+        "total": 5758.0,
+    },
+    "srvr2": {
+        "per_server_cost": 1620.0,
+        "power_w": 215.0,
+        "power_cooling_3yr": 1561.0,
+        "total": 3249.0,
+    },
+}
+
+#: Table 2: (max operational watts, infrastructure dollars incl. switch).
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "srvr1": {"watt": 340, "inf_usd": 3294},
+    "srvr2": {"watt": 215, "inf_usd": 1689},
+    "desk": {"watt": 135, "inf_usd": 849},
+    "mobl": {"watt": 78, "inf_usd": 989},
+    "emb1": {"watt": 52, "inf_usd": 499},
+    "emb2": {"watt": 35, "inf_usd": 379},
+}
+
+#: Figure 2(c) "Perf" block: fraction of srvr1.
+PAPER_FIGURE2C_PERF: Dict[str, Dict[str, float]] = {
+    "websearch": {"srvr2": 0.68, "desk": 0.36, "mobl": 0.34, "emb1": 0.24, "emb2": 0.11},
+    "webmail": {"srvr2": 0.48, "desk": 0.19, "mobl": 0.17, "emb1": 0.11, "emb2": 0.05},
+    "ytube": {"srvr2": 0.97, "desk": 0.92, "mobl": 0.95, "emb1": 0.86, "emb2": 0.24},
+    "mapred-wc": {"srvr2": 0.93, "desk": 0.78, "mobl": 0.72, "emb1": 0.51, "emb2": 0.12},
+    "mapred-wr": {"srvr2": 0.72, "desk": 0.70, "mobl": 0.54, "emb1": 0.48, "emb2": 0.16},
+    "HMean": {"srvr2": 0.71, "desk": 0.42, "mobl": 0.38, "emb1": 0.27, "emb2": 0.10},
+}
+
+#: Figure 2(c) "Perf/Inf-$" block: fraction of srvr1.
+PAPER_FIGURE2C_PERF_INF: Dict[str, Dict[str, float]] = {
+    "websearch": {"srvr2": 1.33, "desk": 1.39, "mobl": 1.12, "emb1": 1.75, "emb2": 0.93},
+    "webmail": {"srvr2": 0.95, "desk": 0.72, "mobl": 0.55, "emb1": 0.83, "emb2": 0.44},
+    "ytube": {"srvr2": 1.88, "desk": 3.58, "mobl": 3.15, "emb1": 6.29, "emb2": 2.06},
+    "mapred-wc": {"srvr2": 1.81, "desk": 3.02, "mobl": 2.41, "emb1": 3.76, "emb2": 1.01},
+    "mapred-wr": {"srvr2": 1.41, "desk": 2.72, "mobl": 1.79, "emb1": 3.50, "emb2": 1.40},
+    "HMean": {"srvr2": 1.39, "desk": 1.62, "mobl": 1.25, "emb1": 2.01, "emb2": 0.91},
+}
+
+#: Figure 2(c) "Perf/W" block: fraction of srvr1.
+PAPER_FIGURE2C_PERF_W: Dict[str, Dict[str, float]] = {
+    "websearch": {"srvr2": 1.07, "desk": 0.90, "mobl": 1.47, "emb1": 1.57, "emb2": 1.03},
+    "webmail": {"srvr2": 0.76, "desk": 0.47, "mobl": 0.73, "emb1": 0.75, "emb2": 0.49},
+    "ytube": {"srvr2": 1.52, "desk": 2.33, "mobl": 4.13, "emb1": 5.66, "emb2": 2.29},
+    "mapred-wc": {"srvr2": 1.46, "desk": 1.97, "mobl": 3.15, "emb1": 3.38, "emb2": 1.13},
+    "mapred-wr": {"srvr2": 1.14, "desk": 1.77, "mobl": 2.35, "emb1": 3.15, "emb2": 1.57},
+    "HMean": {"srvr2": 1.12, "desk": 1.05, "mobl": 1.64, "emb1": 1.81, "emb2": 1.01},
+}
+
+#: Figure 2(c) "Perf/TCO-$" block: fraction of srvr1.
+PAPER_FIGURE2C_PERF_TCO: Dict[str, Dict[str, float]] = {
+    "websearch": {"srvr2": 1.20, "desk": 1.13, "mobl": 1.24, "emb1": 1.67, "emb2": 0.97},
+    "webmail": {"srvr2": 0.86, "desk": 0.59, "mobl": 0.62, "emb1": 0.80, "emb2": 0.46},
+    "ytube": {"srvr2": 1.71, "desk": 2.91, "mobl": 3.51, "emb1": 6.00, "emb2": 2.15},
+    "mapred-wc": {"srvr2": 1.64, "desk": 2.46, "mobl": 2.68, "emb1": 3.59, "emb2": 1.06},
+    "mapred-wr": {"srvr2": 1.28, "desk": 2.21, "mobl": 2.00, "emb1": 3.34, "emb2": 1.47},
+    "HMean": {"srvr2": 1.26, "desk": 1.32, "mobl": 1.40, "emb1": 1.92, "emb2": 0.95},
+}
+
+#: Figure 4(b): slowdown fractions, 25% local memory, random replacement,
+#: PCIe x4 (4 us/page).
+PAPER_FIGURE4B_PCIE: Dict[str, float] = {
+    "websearch": 0.047,
+    "webmail": 0.001,
+    "ytube": 0.014,
+    "mapred-wc": 0.002,
+    "mapred-wr": 0.007,
+}
+
+#: Figure 4(b): the critical-block-first column.
+PAPER_FIGURE4B_CBF: Dict[str, float] = {
+    "websearch": 0.012,
+    "webmail": 0.001,
+    "ytube": 0.004,
+    "mapred-wc": 0.002,
+    "mapred-wr": 0.002,
+}
+
+#: Figure 4(c): provisioning efficiencies (fractions of baseline).
+PAPER_FIGURE4C: Dict[str, Dict[str, float]] = {
+    "static": {"perf_per_inf": 1.02, "perf_per_watt": 1.16, "perf_per_tco": 1.08},
+    "dynamic": {"perf_per_inf": 1.06, "perf_per_watt": 1.16, "perf_per_tco": 1.11},
+}
+
+#: Table 3(b): disk-configuration efficiencies (fractions of baseline).
+PAPER_TABLE3B: Dict[str, Dict[str, float]] = {
+    "remote-laptop": {
+        "perf_per_inf": 0.93, "perf_per_watt": 1.00, "perf_per_tco": 0.96,
+    },
+    "remote-laptop+flash": {
+        "perf_per_inf": 0.99, "perf_per_watt": 1.09, "perf_per_tco": 1.04,
+    },
+    "remote-laptop2+flash": {
+        "perf_per_inf": 1.10, "perf_per_watt": 1.09, "perf_per_tco": 1.10,
+    },
+}
+
+#: Figure 5 Perf/TCO-$ (chart readings; HMean values from the text).
+PAPER_FIGURE5_TCO: Dict[str, Dict[str, float]] = {
+    "websearch": {"N1": 1.10, "N2": 1.67},
+    "webmail": {"N1": 0.60, "N2": 0.80},
+    "ytube": {"N1": 3.50, "N2": 6.00},
+    "mapred-wc": {"N1": 2.90, "N2": 4.00},
+    "mapred-wr": {"N1": 2.30, "N2": 3.50},
+    "HMean": {"N1": 1.50, "N2": 2.00},
+}

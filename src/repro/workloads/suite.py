@@ -1,0 +1,41 @@
+"""The benchmark-suite registry (paper Table 1).
+
+Maps benchmark names to factories.  The five measured benchmarks are the
+four workloads of Table 1 with mapreduce split into its two applications,
+matching the five rows of Figure 2(c).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.base import Workload
+from repro.workloads.mapreduce import make_mapred_wc, make_mapred_wr
+from repro.workloads.webmail import make_webmail
+from repro.workloads.websearch import make_websearch
+from repro.workloads.ytube import make_ytube
+
+#: Benchmark factories in the paper's Figure 2(c) row order.
+BENCHMARK_SUITE: Dict[str, Callable[[], Workload]] = {
+    "websearch": make_websearch,
+    "webmail": make_webmail,
+    "ytube": make_ytube,
+    "mapred-wc": make_mapred_wc,
+    "mapred-wr": make_mapred_wr,
+}
+
+
+def benchmark_names() -> List[str]:
+    """Benchmark names in the paper's reporting order."""
+    return list(BENCHMARK_SUITE)
+
+
+def make_workload(name: str) -> Workload:
+    """Instantiate a benchmark by name."""
+    try:
+        factory = BENCHMARK_SUITE[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {list(BENCHMARK_SUITE)}"
+        ) from exc
+    return factory()

@@ -1,0 +1,134 @@
+"""Workload variants (paper section 4: "a workload can have multiple
+flavors based on the nature of the request").
+
+The main factories reproduce the paper's single representative flavor of
+each workload.  These parameterized variants let users explore the
+flavor space the paper flags as future work:
+
+- websearch with different index scales and cache coverage,
+- webmail with a "light user" LoadSim-style profile,
+- ytube with different popularity skews (viral vs long-tail catalogs),
+- mapreduce with different CPU-per-byte intensities.
+
+Every variant is produced by scaling the calibrated mean demands (the
+distribution shapes are inherited), so the variants remain comparable to
+the calibrated baselines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Callable
+
+from repro.workloads.base import Request, Workload, WorkloadProfile
+from repro.workloads.mapreduce import make_mapred_wc
+from repro.workloads.webmail import make_webmail
+from repro.workloads.websearch import make_websearch
+from repro.workloads.ytube import make_ytube
+
+
+def _scaled_workload(
+    base: Workload,
+    name: str,
+    description: str,
+    cpu: float = 1.0,
+    mem: float = 1.0,
+    disk: float = 1.0,
+    net: float = 1.0,
+    profile_updates: dict | None = None,
+) -> Workload:
+    """Derive a variant by scaling demand components of ``base``."""
+    for factor in (cpu, mem, disk, net):
+        if factor < 0:
+            raise ValueError("scale factors must be >= 0")
+    base_sampler: Callable[[random.Random], Request] = base.sample
+    mean = base.mean_demand()
+    new_mean = replace(
+        mean,
+        cpu_ms_ref=mean.cpu_ms_ref * cpu,
+        mem_ms_ref=mean.mem_ms_ref * mem,
+        disk_ios=mean.disk_ios * disk,
+        disk_bytes=mean.disk_bytes * disk,
+        net_bytes=mean.net_bytes * net,
+    )
+    profile = replace(
+        base.profile,
+        name=name,
+        description=description,
+        mean_demand=new_mean,
+        **(profile_updates or {}),
+    )
+
+    def sampler(rng: random.Random) -> Request:
+        request = base_sampler(rng)
+        d = request.demand
+        return Request(
+            demand=replace(
+                d,
+                cpu_ms_ref=d.cpu_ms_ref * cpu,
+                mem_ms_ref=d.mem_ms_ref * mem,
+                disk_ios=d.disk_ios * disk,
+                disk_bytes=d.disk_bytes * disk,
+                net_bytes=d.net_bytes * net,
+            ),
+            kind=request.kind,
+        )
+
+    return Workload(profile, sampler)
+
+
+def make_websearch_large_index(scale: float = 4.0) -> Workload:
+    """Websearch over a ``scale``-x larger index: more CPU and memory per
+    query, more uncached postings on disk."""
+    if scale < 1.0:
+        raise ValueError("index scale must be >= 1")
+    return _scaled_workload(
+        make_websearch(),
+        name=f"websearch-x{scale:g}",
+        description=f"websearch with a {scale:g}x larger index",
+        cpu=scale**0.5,  # index lookup cost grows sublinearly (log-ish)
+        mem=scale**0.5,
+        disk=scale,      # uncached tail grows with index size
+    )
+
+
+def make_webmail_light_users() -> Workload:
+    """LoadSim "light user" profile: smaller mailboxes, fewer
+    attachments, shorter actions."""
+    return _scaled_workload(
+        make_webmail(),
+        name="webmail-light",
+        description="webmail with the LoadSim light-user profile",
+        cpu=0.6,
+        mem=0.6,
+        disk=0.5,
+        net=0.4,
+    )
+
+
+def make_ytube_viral(alpha_boost: float = 2.0) -> Workload:
+    """A viral catalog: traffic concentrates on few clips, so the page
+    cache absorbs nearly all disk traffic."""
+    if alpha_boost < 1.0:
+        raise ValueError("alpha boost must be >= 1")
+    return _scaled_workload(
+        make_ytube(),
+        name="ytube-viral",
+        description="ytube with viral (highly concentrated) popularity",
+        disk=1.0 / alpha_boost,
+    )
+
+
+def make_mapred_compute_heavy(cpu_factor: float = 3.0) -> Workload:
+    """A compute-bound mapreduce application (e.g. inverted-index build
+    or ML feature extraction) on the same 5 GB corpus."""
+    if cpu_factor <= 0:
+        raise ValueError("cpu factor must be positive")
+    return _scaled_workload(
+        make_mapred_wc(),
+        name="mapred-compute",
+        description=f"mapreduce with {cpu_factor:g}x CPU work per byte",
+        cpu=cpu_factor,
+        mem=cpu_factor,
+    )

@@ -1,0 +1,135 @@
+"""Websearch: unstructured data processing (paper Table 1, row 1).
+
+Models the paper's Nutch-0.9/Tomcat/Apache benchmark: a 20 GB dataset with
+a 1.3 GB index of 1.3 million documents, 25% of index terms cached in
+memory.  Query keywords follow a Zipf distribution of indexed-word
+frequency (after Xie and O'Hallaron) and the keyword count per query
+follows observed real-world patterns.  QoS requires >95% of queries to
+complete within 0.5 seconds.
+
+Structure of one query:
+
+1. Draw the keyword count (1-4 keywords, skewed toward 1-2).
+2. For each keyword, draw a term rank from the Zipf sampler.  Popular
+   terms have longer posting lists (more CPU and memory work) but are more
+   likely to be among the 25% of cached index terms (no disk I/O).
+3. CPU/memory demand accumulates per keyword; disk demand accumulates per
+   *uncached* keyword; the response page adds network bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.workloads._calibrate import calibrated_sampler
+from repro.workloads.base import (
+    MetricKind,
+    PopulationPolicy,
+    Request,
+    ResourceDemand,
+    Workload,
+    WorkloadProfile,
+)
+from repro.workloads.qos import QosSpec
+from repro.workloads.zipf import ZipfSampler, discrete_sample
+
+#: Calibrated mean per-query demand (see DESIGN.md, performance calibration).
+MEAN_DEMAND = ResourceDemand(
+    cpu_ms_ref=40.0,
+    mem_ms_ref=30.0,
+    disk_ios=1.5,
+    disk_bytes=300_000.0,
+    net_bytes=100_000.0,
+)
+
+#: Keyword-count distribution: (count, probability).  Real query logs are
+#: dominated by one- and two-keyword queries.
+KEYWORD_COUNT_DIST: List[Tuple[int, float]] = [(1, 0.35), (2, 0.35), (3, 0.20), (4, 0.10)]
+
+#: Index model: distinct indexed terms and popularity skew.
+INDEX_TERMS = 100_000
+ZIPF_ALPHA = 0.9
+#: Fraction of index terms cached in memory (paper: 25%).
+CACHED_TERM_FRACTION = 0.25
+
+#: Paper QoS: >95% of queries take < 0.5 seconds.
+QOS = QosSpec(limit_ms=500.0, percentile=0.95)
+
+#: Mean client think time between queries.
+THINK_TIME_MS = 1000.0
+
+#: Starting client population for the adaptive driver.
+DEFAULT_POPULATION = 96
+
+#: Cache-size sensitivity and in-order IPC for search code (branchy,
+#: pointer-chasing inverted-index traversal).
+CACHE_SENSITIVITY = 0.10
+INORDER_IPC = 0.45
+#: Pointer-chasing index traversal stalls on DRAM latency ~30% of the time.
+STALL_FRACTION = 0.30
+
+
+class _QueryModel:
+    """Structural (pre-calibration) query sampler."""
+
+    def __init__(self) -> None:
+        self._zipf = ZipfSampler(INDEX_TERMS, ZIPF_ALPHA)
+        self._cached_terms = int(CACHED_TERM_FRACTION * INDEX_TERMS)
+        self._kw_weights = [p for _, p in KEYWORD_COUNT_DIST]
+        self._kw_counts = [k for k, _ in KEYWORD_COUNT_DIST]
+
+    def __call__(self, rng: random.Random) -> Request:
+        keywords = self._kw_counts[discrete_sample(self._kw_weights, rng)]
+        cpu = 0.0
+        mem = 0.0
+        ios = 0.0
+        dbytes = 0.0
+        for _ in range(keywords):
+            rank = self._zipf.sample(rng)
+            # Posting-list length shrinks with rank; popular terms cost
+            # more CPU/memory to merge but are more likely cached.
+            posting_weight = 1.0 / ((rank + 1) ** 0.35)
+            work = posting_weight * rng.lognormvariate(0.0, 0.35)
+            cpu += work
+            mem += work
+            if rank >= self._cached_terms:
+                # Uncached index term: posting list fetched from disk.
+                ios += 1.0 + rng.random()
+                dbytes += posting_weight * rng.lognormvariate(0.0, 0.3)
+        # Result scoring/rendering plus the response page.
+        cpu += 0.25 * rng.expovariate(1.0)
+        net = 0.5 + 0.5 * rng.expovariate(1.0)
+        return Request(
+            demand=ResourceDemand(
+                cpu_ms_ref=cpu,
+                mem_ms_ref=mem,
+                disk_ios=ios,
+                disk_bytes=dbytes,
+                net_bytes=net,
+                cpu_parallelism=keywords,
+            ),
+            kind=f"query-{keywords}kw",
+        )
+
+
+def make_websearch() -> Workload:
+    """Build the websearch benchmark with calibrated mean demands."""
+    profile = WorkloadProfile(
+        name="websearch",
+        description=(
+            "Open source Nutch-0.9, Tomcat 6 with clustering, and Apache2. "
+            "1.3GB index of 1.3 million documents, 25% of index terms "
+            "cached in memory. 2GB Java heap."
+        ),
+        emphasizes="the role of unstructured data",
+        metric_kind=MetricKind.RPS_QOS,
+        mean_demand=MEAN_DEMAND,
+        population=PopulationPolicy(fixed=DEFAULT_POPULATION),
+        qos=QOS,
+        think_time_ms=THINK_TIME_MS,
+        cache_sensitivity=CACHE_SENSITIVITY,
+        inorder_ipc_factor=INORDER_IPC,
+        stall_fraction=STALL_FRACTION,
+    )
+    return Workload(profile, calibrated_sampler(_QueryModel(), MEAN_DEMAND))

@@ -1,0 +1,65 @@
+"""Tests of the multi-server cluster simulation."""
+
+import pytest
+
+from repro.cluster.balancer import ClusterSimulator, Dispatch
+from repro.platforms.catalog import platform
+from repro.simulator.server_sim import ServerSimulator, SimConfig
+from repro.workloads.suite import make_workload
+
+
+def _cluster(servers=2, dispatch=Dispatch.LEAST_OUTSTANDING, clients=12,
+             bench="webmail", system="desk", seed=1):
+    return ClusterSimulator(
+        platform(system),
+        make_workload(bench),
+        servers=servers,
+        clients_per_server=clients,
+        dispatch=dispatch,
+        seed=seed,
+        warmup_requests=200,
+        measure_requests=1500,
+    )
+
+
+class TestClusterSimulator:
+    def test_two_servers_roughly_double_one(self):
+        single = ServerSimulator(
+            platform("desk"),
+            make_workload("webmail"),
+            population=12,
+            config=SimConfig(warmup_requests=200, measure_requests=1500, seed=1),
+        ).run()
+        cluster = _cluster(servers=2, clients=12).run()
+        assert cluster.throughput_rps == pytest.approx(
+            2 * single.throughput_rps, rel=0.15
+        )
+
+    def test_aggregation_assumption_holds_within_ten_percent(self):
+        """The paper's cluster-performance-by-aggregation assumption."""
+        results = {
+            n: _cluster(servers=n, clients=10).run() for n in (2, 4)
+        }
+        per_server = [r.per_server_rps for r in results.values()]
+        assert per_server[1] == pytest.approx(per_server[0], rel=0.10)
+
+    def test_dispatch_policies_balance_load(self):
+        for dispatch in (Dispatch.ROUND_ROBIN, Dispatch.LEAST_OUTSTANDING):
+            result = _cluster(servers=4, dispatch=dispatch).run()
+            assert result.imbalance < 1.15, dispatch
+
+    def test_least_outstanding_has_no_worse_tail(self):
+        rr = _cluster(servers=4, dispatch=Dispatch.ROUND_ROBIN, clients=16).run()
+        lo = _cluster(servers=4, dispatch=Dispatch.LEAST_OUTSTANDING, clients=16).run()
+        assert lo.qos_percentile_ms <= rr.qos_percentile_ms * 1.1
+
+    def test_deterministic_by_seed(self):
+        a = _cluster(seed=5).run()
+        b = _cluster(seed=5).run()
+        assert a.throughput_rps == b.throughput_rps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _cluster(servers=0)
+        with pytest.raises(ValueError):
+            _cluster(clients=0)

@@ -1,0 +1,82 @@
+"""Tests of the diurnal load and ensemble energy models."""
+
+import pytest
+
+from repro.cluster.diurnal import DiurnalLoadModel, EnsembleEnergyModel
+
+
+class TestDiurnalLoadModel:
+    def test_peak_is_one_at_peak_hour(self):
+        profile = DiurnalLoadModel(peak_to_trough=3.0, peak_hour=20.0)
+        assert profile.load_at(20.0) == pytest.approx(1.0)
+
+    def test_trough_is_reciprocal_of_ratio(self):
+        profile = DiurnalLoadModel(peak_to_trough=4.0, peak_hour=12.0)
+        assert profile.load_at(0.0) == pytest.approx(0.25)
+
+    def test_profile_has_24_samples_in_range(self):
+        profile = DiurnalLoadModel()
+        samples = profile.hourly_profile()
+        assert len(samples) == 24
+        assert all(0 < s <= 1.0 for s in samples)
+
+    def test_mean_utilization_between_trough_and_peak(self):
+        profile = DiurnalLoadModel(peak_to_trough=3.0)
+        assert 1 / 3 < profile.mean_utilization < 1.0
+
+    def test_flat_profile_when_ratio_is_one(self):
+        profile = DiurnalLoadModel(peak_to_trough=1.0)
+        assert profile.mean_utilization == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalLoadModel(peak_to_trough=0.5)
+        with pytest.raises(ValueError):
+            DiurnalLoadModel(peak_hour=25.0)
+
+
+class TestEnsembleEnergyModel:
+    def test_idle_floor(self):
+        model = EnsembleEnergyModel(peak_power_w=100.0, idle_power_fraction=0.6)
+        assert model.server_power_w(0.0) == pytest.approx(60.0)
+        assert model.server_power_w(1.0) == pytest.approx(100.0)
+        assert model.server_power_w(0.5) == pytest.approx(80.0)
+
+    def test_parking_saves_energy(self):
+        profile = DiurnalLoadModel(peak_to_trough=3.0)
+        managed = EnsembleEnergyModel(100.0, 0.6, parkable_fraction=0.5)
+        assert managed.parking_savings(100, profile) > 0.05
+
+    def test_no_parking_no_savings(self):
+        profile = DiurnalLoadModel()
+        unmanaged = EnsembleEnergyModel(100.0, 0.6, parkable_fraction=0.0)
+        assert unmanaged.parking_savings(100, profile) == pytest.approx(0.0)
+
+    def test_parking_gains_grow_with_idle_power(self):
+        """Parking pays off most for energy-disproportional servers."""
+        profile = DiurnalLoadModel(peak_to_trough=3.0)
+        hot_idle = EnsembleEnergyModel(100.0, 0.8, parkable_fraction=0.5)
+        cool_idle = EnsembleEnergyModel(100.0, 0.2, parkable_fraction=0.5)
+        assert hot_idle.parking_savings(100, profile) > cool_idle.parking_savings(
+            100, profile
+        )
+
+    def test_daily_energy_bounds(self):
+        profile = DiurnalLoadModel(peak_to_trough=3.0)
+        model = EnsembleEnergyModel(100.0, 0.6)
+        kwh = model.daily_energy_kwh(10, profile)
+        # Bounded by 24h at idle and 24h at peak.
+        assert 0.6 * 24 <= kwh <= 1.0 * 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnsembleEnergyModel(0.0)
+        with pytest.raises(ValueError):
+            EnsembleEnergyModel(100.0, idle_power_fraction=1.5)
+        with pytest.raises(ValueError):
+            EnsembleEnergyModel(100.0, parkable_fraction=1.0)
+        model = EnsembleEnergyModel(100.0)
+        with pytest.raises(ValueError):
+            model.server_power_w(1.5)
+        with pytest.raises(ValueError):
+            model.fleet_power_w(0, 0.5)

@@ -1,0 +1,80 @@
+"""Tests of the heterogeneous-fleet optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.heterogeneous import FleetOptimizer
+
+_THROUGHPUT = {
+    "search": {"big": 100.0, "small": 20.0},
+    "media": {"big": 100.0, "small": 95.0},
+}
+_TCO = {"big": 5000.0, "small": 800.0}
+
+
+@pytest.fixture
+def optimizer():
+    return FleetOptimizer(_THROUGHPUT, _TCO)
+
+
+class TestFleetOptimizer:
+    def test_homogeneous_plan_sizes_by_ceiling(self, optimizer):
+        plan = optimizer.homogeneous_plan("big", {"search": 250.0, "media": 50.0})
+        by_service = {a.service: a for a in plan.assignments}
+        assert by_service["search"].servers == 3  # ceil(250/100)
+        assert by_service["media"].servers == 1
+        assert plan.total_cost_usd == 4 * 5000.0
+
+    def test_heterogeneous_picks_per_service_optimum(self, optimizer):
+        demand = {"search": 1000.0, "media": 1000.0}
+        plan = optimizer.heterogeneous_plan(demand)
+        # search: big needs 10 x $5000 = $50k; small needs 50 x $800 = $40k.
+        assert plan.platform_of("search") == "small"
+        # media: big needs 10 x $5000 = 50k; small 11 x $800 ~ $8.8k.
+        assert plan.platform_of("media") == "small"
+
+    def test_mixing_wins_when_services_disagree(self):
+        throughput = {
+            "cpu-bound": {"big": 100.0, "small": 10.0},
+            "io-bound": {"big": 100.0, "small": 95.0},
+        }
+        optimizer = FleetOptimizer(throughput, _TCO)
+        demand = {"cpu-bound": 10_000.0, "io-bound": 10_000.0}
+        premium = optimizer.homogeneity_premium(demand)
+        assert premium > 0.0
+        hetero = optimizer.heterogeneous_plan(demand)
+        assert hetero.platform_of("cpu-bound") == "big"
+        assert hetero.platform_of("io-bound") == "small"
+
+    def test_heterogeneous_never_costs_more(self, optimizer):
+        demand = {"search": 5000.0, "media": 3000.0}
+        assert optimizer.homogeneity_premium(demand) >= 0.0
+
+    def test_validation(self, optimizer):
+        with pytest.raises(ValueError):
+            FleetOptimizer({}, _TCO)
+        with pytest.raises(ValueError):
+            FleetOptimizer(
+                {"a": {"big": 1.0}, "b": {"small": 1.0}}, _TCO
+            )
+        with pytest.raises(KeyError):
+            optimizer.homogeneous_plan("medium", {"search": 1.0, "media": 1.0})
+        with pytest.raises(KeyError):
+            optimizer.heterogeneous_plan({"video": 1.0})
+        with pytest.raises(ValueError):
+            optimizer.heterogeneous_plan({"search": 0.0, "media": 1.0})
+
+    @given(
+        demands=st.lists(
+            st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=2
+        ),
+        tco_small=st.floats(min_value=100.0, max_value=10_000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_premium_is_never_negative(self, demands, tco_small):
+        optimizer = FleetOptimizer(
+            _THROUGHPUT, {"big": 5000.0, "small": tco_small}
+        )
+        demand = {"search": demands[0], "media": demands[1]}
+        assert optimizer.homogeneity_premium(demand) >= -1e-9

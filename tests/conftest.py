@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platforms.catalog import PLATFORMS, platform
+from repro.simulator.server_sim import SimConfig
+from repro.workloads.suite import BENCHMARK_SUITE, make_workload
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> SimConfig:
+    """A smaller measurement protocol for quick DES runs in tests."""
+    return SimConfig(warmup_requests=150, measure_requests=900, seed=11)
+
+
+@pytest.fixture(params=list(PLATFORMS))
+def any_platform(request):
+    """Each of the six Table 2 platforms."""
+    return platform(request.param)
+
+
+@pytest.fixture(params=list(BENCHMARK_SUITE))
+def any_workload(request):
+    """Each of the five benchmarks."""
+    return make_workload(request.param)
+
+
+@pytest.fixture(scope="session")
+def srvr1():
+    return platform("srvr1")
+
+
+@pytest.fixture(scope="session")
+def emb1():
+    return platform("emb1")

@@ -1,0 +1,89 @@
+"""Tests of the fan affinity laws and operating-point solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cooling.fanlaws import Fan, operating_point, speed_margin
+from repro.cooling.thermal import AirflowPath, required_flow_m3_s
+
+
+@pytest.fixture
+def fan():
+    return Fan(
+        name="40mm",
+        rated_rpm=6000.0,
+        rated_flow_m3_s=0.008,
+        rated_power_w=3.0,
+        max_rpm=12000.0,
+    )
+
+
+@pytest.fixture
+def path():
+    return AirflowPath(flow_length_m=0.3, inlet_area_m2=0.01)
+
+
+class TestAffinityLaws:
+    def test_flow_linear_in_rpm(self, fan):
+        assert fan.flow_at(3000.0) == pytest.approx(0.004)
+        assert fan.flow_at(12000.0) == pytest.approx(0.016)
+
+    def test_power_cubic_in_rpm(self, fan):
+        assert fan.power_at(12000.0) == pytest.approx(3.0 * 8)
+        assert fan.power_at(3000.0) == pytest.approx(3.0 / 8)
+
+    def test_rpm_for_flow_inverts(self, fan):
+        rpm = fan.rpm_for_flow(0.012)
+        assert fan.flow_at(rpm) == pytest.approx(0.012)
+
+    def test_overspeed_rejected(self, fan):
+        with pytest.raises(ValueError, match="cannot deliver"):
+            fan.rpm_for_flow(1.0)
+        with pytest.raises(ValueError):
+            fan.power_at(20000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fan("bad", rated_rpm=0.0, rated_flow_m3_s=0.01,
+                rated_power_w=1.0, max_rpm=100.0)
+        with pytest.raises(ValueError):
+            Fan("bad", rated_rpm=5000.0, rated_flow_m3_s=0.01,
+                rated_power_w=1.0, max_rpm=4000.0)
+
+    @given(rpm_fraction=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_halving_speed_cuts_power_eightfold(self, rpm_fraction):
+        fan = Fan(
+            name="40mm", rated_rpm=6000.0, rated_flow_m3_s=0.008,
+            rated_power_w=3.0, max_rpm=12000.0,
+        )
+        rpm = fan.max_rpm * rpm_fraction
+        assert fan.power_at(rpm) == pytest.approx(8 * fan.power_at(rpm / 2), rel=1e-6)
+
+
+class TestOperatingPoint:
+    def test_solves_heat_balance(self, fan, path):
+        point = operating_point(fan, path, heat_w=75.0, delta_t_k=12.0)
+        assert point.flow_m3_s == pytest.approx(required_flow_m3_s(75.0, 12.0))
+        assert point.fan_power_w > 0
+        assert point.pressure_pa > 0
+
+    def test_more_heat_cubes_fan_power(self, fan, path):
+        low = operating_point(fan, path, heat_w=40.0, delta_t_k=12.0)
+        high = operating_point(fan, path, heat_w=80.0, delta_t_k=12.0)
+        assert high.fan_power_w == pytest.approx(8 * low.fan_power_w, rel=1e-6)
+
+    def test_bigger_temperature_budget_saves_speed(self, fan, path):
+        tight = operating_point(fan, path, heat_w=75.0, delta_t_k=8.0)
+        loose = operating_point(fan, path, heat_w=75.0, delta_t_k=16.0)
+        assert loose.rpm < tight.rpm
+
+    def test_efficiency_metric(self, fan, path):
+        point = operating_point(fan, path, heat_w=75.0, delta_t_k=12.0)
+        assert point.efficiency_w_per_w == pytest.approx(75.0 / point.fan_power_w)
+
+    def test_speed_margin_shrinks_with_heat(self, fan, path):
+        cool = speed_margin(fan, path, heat_w=30.0, delta_t_k=12.0)
+        hot = speed_margin(fan, path, heat_w=90.0, delta_t_k=12.0)
+        assert 0 <= hot < cool < 1

@@ -1,0 +1,74 @@
+"""Tests of efficiency-table construction."""
+
+import pytest
+
+from repro.core.efficiency import HMEAN_ROW, build_efficiency_tables
+from repro.core.metrics import METRIC_ATTRIBUTES, EfficiencyMetrics
+
+
+def _metrics(system, benchmark, performance):
+    return EfficiencyMetrics(
+        system=system,
+        benchmark=benchmark,
+        performance=performance,
+        power_w=100.0 if system == "base" else 50.0,
+        infrastructure_usd=1000.0 if system == "base" else 400.0,
+        power_cooling_usd=800.0 if system == "base" else 300.0,
+    )
+
+
+@pytest.fixture
+def metrics():
+    return {
+        "bench-a": {
+            "base": _metrics("base", "bench-a", 100.0),
+            "new": _metrics("new", "bench-a", 50.0),
+        },
+        "bench-b": {
+            "base": _metrics("base", "bench-b", 10.0),
+            "new": _metrics("new", "bench-b", 10.0),
+        },
+    }
+
+
+class TestBuildEfficiencyTables:
+    def test_builds_every_metric_block(self, metrics):
+        tables = build_efficiency_tables(metrics, "base", METRIC_ATTRIBUTES)
+        assert set(tables) == set(METRIC_ATTRIBUTES)
+
+    def test_baseline_column_is_unity(self, metrics):
+        tables = build_efficiency_tables(metrics, "base", METRIC_ATTRIBUTES)
+        for table in tables.values():
+            for bench in table.benchmarks:
+                assert table.value(bench, "base") == pytest.approx(1.0)
+            assert table.hmean("base") == pytest.approx(1.0)
+
+    def test_perf_ratios(self, metrics):
+        perf = build_efficiency_tables(metrics, "base", METRIC_ATTRIBUTES)["Perf"]
+        assert perf.value("bench-a", "new") == pytest.approx(0.5)
+        assert perf.value("bench-b", "new") == pytest.approx(1.0)
+        # HMean of 0.5 and 1.0.
+        assert perf.hmean("new") == pytest.approx(2 / 3)
+
+    def test_cost_normalized_blocks_divide_by_cost_ratio(self, metrics):
+        tables = build_efficiency_tables(metrics, "base", METRIC_ATTRIBUTES)
+        # new has 2.5x cheaper infrastructure: Perf/Inf-$ = perf * 2.5.
+        inf = tables["Perf/Inf-$"]
+        assert inf.value("bench-a", "new") == pytest.approx(0.5 * 2.5)
+
+    def test_render_contains_all_rows(self, metrics):
+        table = build_efficiency_tables(metrics, "base", METRIC_ATTRIBUTES)["Perf"]
+        text = table.render()
+        assert "bench-a" in text and HMEAN_ROW in text
+        assert "%" in text
+        plain = table.render(percent=False)
+        assert "%" not in plain
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            build_efficiency_tables({}, "base", METRIC_ATTRIBUTES)
+
+    def test_nonpositive_baseline_rejected(self, metrics):
+        metrics["bench-a"]["base"] = _metrics("base", "bench-a", 0.0)
+        with pytest.raises(ValueError):
+            build_efficiency_tables(metrics, "base", {"Perf": "performance"})

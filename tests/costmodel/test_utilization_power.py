@@ -1,0 +1,83 @@
+"""Tests of utilization-based power accounting."""
+
+import pytest
+
+from repro.costmodel.catalog import server_bill
+from repro.costmodel.components import Component
+from repro.costmodel.utilization_power import (
+    DEFAULT_IDLE_FRACTIONS,
+    UtilizationPowerModel,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return UtilizationPowerModel()
+
+
+class TestComponentPower:
+    def test_idle_and_peak_endpoints(self, model):
+        bill = server_bill("srvr2")
+        cpu_peak = bill.power_of(Component.CPU)
+        idle = model.component_power_w(bill, Component.CPU, 0.0)
+        peak = model.component_power_w(bill, Component.CPU, 1.0)
+        assert idle == pytest.approx(
+            DEFAULT_IDLE_FRACTIONS[Component.CPU] * cpu_peak
+        )
+        assert peak == pytest.approx(cpu_peak)
+
+    def test_linear_between_endpoints(self, model):
+        bill = server_bill("srvr2")
+        half = model.component_power_w(bill, Component.CPU, 0.5)
+        idle = model.component_power_w(bill, Component.CPU, 0.0)
+        peak = model.component_power_w(bill, Component.CPU, 1.0)
+        assert half == pytest.approx((idle + peak) / 2)
+
+    def test_utilization_bounds(self, model):
+        with pytest.raises(ValueError):
+            model.component_power_w(server_bill("desk"), Component.CPU, 1.5)
+
+
+class TestServerPower:
+    def test_full_load_equals_nameplate(self, model):
+        bill = server_bill("srvr1")
+        utils = {"cpu": 1.0, "mem": 1.0, "disk": 1.0, "nic": 1.0}
+        # Board and fans only reach their idle fractions; everything with
+        # a resource mapping reaches peak.
+        power = model.server_power_w(bill, utils)
+        assert power < bill.power_w
+        assert power > 0.9 * bill.power_w
+
+    def test_zero_load_is_the_idle_floor(self, model):
+        bill = server_bill("srvr1")
+        power = model.server_power_w(bill, {})
+        expected = sum(
+            bill.power_of(c) * DEFAULT_IDLE_FRACTIONS[c] for c in Component
+        )
+        assert power == pytest.approx(expected)
+
+    def test_monotone_in_utilization(self, model):
+        bill = server_bill("emb1")
+        low = model.server_power_w(bill, {"cpu": 0.2, "mem": 0.1, "disk": 0.1})
+        high = model.server_power_w(bill, {"cpu": 0.9, "mem": 0.8, "disk": 0.7})
+        assert high > low
+
+
+class TestImpliedActivityFactor:
+    def test_factor_between_idle_floor_and_one(self, model):
+        bill = server_bill("desk")
+        factor = model.implied_activity_factor(
+            bill, {"cpu": 0.7, "mem": 0.5, "disk": 0.3}
+        )
+        assert 0.4 < factor < 1.0
+
+    def test_papers_flat_factor_is_plausible_at_moderate_load(self, model):
+        """At ~60-80% CPU load the implied factor brackets 0.75."""
+        bill = server_bill("srvr1")
+        low = model.implied_activity_factor(bill, {"cpu": 0.4, "mem": 0.3, "disk": 0.2})
+        high = model.implied_activity_factor(bill, {"cpu": 1.0, "mem": 0.8, "disk": 0.6})
+        assert low < 0.75 < high
+
+    def test_invalid_idle_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationPowerModel(idle_fractions={Component.CPU: 1.2})

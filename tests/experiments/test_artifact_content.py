@@ -1,0 +1,68 @@
+"""Content checks on the regenerated artifacts (fast analytic paths)."""
+
+import pytest
+
+from repro.experiments import figure2, figure5, table3
+from repro.experiments.table3 import device_table
+
+
+class TestFigure2Content:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2.run(method="analytic")
+
+    def test_all_sections_present(self, result):
+        names = set(result.sections)
+        assert {"Inf-$ breakdown (a)", "Inf-$ chart (a)",
+                "P&C-$ breakdown (b)", "P&C-$ chart (b)",
+                "rack power (section 3.2)"} <= names
+        for metric in figure2.FIGURE2C_METRICS:
+            assert f"{metric} (c)" in names
+
+    def test_breakdown_totals_match_table2(self, result):
+        table = result.sections["Inf-$ breakdown (a)"]
+        total_line = [l for l in table.splitlines() if l.startswith("total")][0]
+        assert "3,294" in total_line and "379" in total_line
+
+    def test_charts_have_legends(self, result):
+        chart = result.sections["Inf-$ chart (a)"]
+        assert "#=cpu" in chart
+        assert "srvr1" in chart and "emb2" in chart
+
+    def test_rack_power_section_mentions_13_6_kw(self, result):
+        assert "13.6 kW" in result.sections["rack power (section 3.2)"]
+
+    def test_matrix_has_hmean_row(self, result):
+        assert "HMean" in result.sections["Perf/TCO-$ (c)"]
+
+
+class TestTable3Content:
+    def test_device_table_lists_all_four_devices(self):
+        table = device_table()
+        for device in ("flash-1gb", "laptop-disk", "laptop-2-disk", "desktop-disk"):
+            assert device in table
+        assert "20us rd / 200us wr" in table
+        assert "$14" in table and "$120" in table
+
+
+class TestFigure5Content:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure5.run(method="analytic", include_alternate_baselines=True)
+
+    def test_alternate_baseline_sections(self, result):
+        assert "Perf/TCO-$ (vs srvr2)" in result.sections
+        assert "Perf/TCO-$ (vs desk)" in result.sections
+
+    def test_equal_performance_section(self, result):
+        section = result.sections["equal-performance fleets (section 3.6)"]
+        assert "N1" in section and "N2" in section
+        equal = result.data["equal_performance"]
+        # Paper: "60% reduction in power, 55% reduction in overall costs".
+        assert equal["N2"]["power_reduction"] > 0.5
+        assert equal["N2"]["cost_reduction"] > 0.4
+        assert equal["N2"]["racks_reduction"] > 0.3
+
+    def test_n2_needs_more_servers_but_less_of_everything_else(self, result):
+        equal = result.data["equal_performance"]
+        assert equal["N2"]["servers_per_srvr1"] > 1.0

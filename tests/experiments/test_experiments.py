@@ -1,0 +1,95 @@
+"""Tests of the experiment modules (fast paths) and the runner."""
+
+import pytest
+
+from repro.experiments import figure1, figure3, figure4, table1, table2
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.experiments.runner import _EXPERIMENTS, run_experiment
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["Name", "Value"], [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("Name")
+
+    def test_percent_style(self):
+        assert percent(1.67) == "167%"
+
+    def test_experiment_result_render(self):
+        result = ExperimentResult(
+            experiment_id="X", title="T", paper_reference="Fig 0",
+            sections={"s": "body"},
+        )
+        text = result.render()
+        assert "X: T" in text and "body" in text
+
+
+class TestTable1:
+    def test_lists_all_benchmarks(self):
+        result = table1.run()
+        for name in ("websearch", "webmail", "ytube", "mapred-wc", "mapred-wr"):
+            assert name in result.data
+        assert "websearch" in result.sections["summary"]
+
+    def test_qos_strings_match_paper(self):
+        data = table1.run().data
+        assert "<0.5 seconds" in data["websearch"]["qos"]
+        assert "<0.8 seconds" in data["webmail"]["qos"]
+        assert data["mapred-wc"]["qos"] == "n/a (batch)"
+
+
+class TestFigure1:
+    def test_totals_match_paper(self):
+        data = figure1.run().data
+        assert data["srvr1_total"] == pytest.approx(5758, abs=10)
+        assert data["srvr2_total"] == pytest.approx(3249, abs=10)
+        assert data["srvr1_pc"] == pytest.approx(2464, abs=5)
+        assert data["srvr2_pc"] == pytest.approx(1561, abs=5)
+
+
+class TestTable2:
+    def test_all_systems_reported(self):
+        data = table2.run().data
+        assert set(data) == {"srvr1", "srvr2", "desk", "mobl", "emb1", "emb2"}
+        assert data["emb1"]["watt"] == 52
+        assert data["emb1"]["inf_usd"] == pytest.approx(499, abs=1)
+
+
+class TestFigure3:
+    def test_cooling_claims(self):
+        data = figure3.run().data
+        assert data["dual-entry"]["cooling_efficiency"] == pytest.approx(2.0, abs=0.5)
+        assert data["aggregated-microblade"]["cooling_efficiency"] == pytest.approx(
+            4.0, abs=0.6
+        )
+        assert data["dual-entry"]["systems_per_rack"] == 320
+        assert data["aggregated-microblade"]["systems_per_rack"] == 1250
+
+
+class TestFigure4Fast:
+    def test_fast_mode_produces_all_sections(self):
+        result = figure4.run(fast=True)
+        assert any("25.0% local" in s for s in result.sections)
+        assert any("12.5% local" in s for s in result.sections)
+        assert "provisioning efficiencies (c)" in result.sections
+        prov = result.data["provisioning"]
+        assert prov["dynamic"]["perf_per_tco"] > prov["static"]["perf_per_tco"] - 0.02
+
+
+class TestRunner:
+    def test_registry_covers_every_artifact(self):
+        assert set(_EXPERIMENTS) == {
+            "table1", "figure1", "table2", "figure2", "figure3",
+            "figure4", "table3", "figure5", "sensitivity",
+            "ablation", "scaleout", "diurnal", "validation", "future", "power", "contention", "latency", "heterogeneous",
+        }
+
+    def test_run_experiment_by_name(self):
+        result = run_experiment("table2")
+        assert isinstance(result, ExperimentResult)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure9")

@@ -1,0 +1,52 @@
+"""Tests of the extension experiments (ablation, scale-out, diurnal)."""
+
+import pytest
+
+from repro.experiments import ablation, diurnal
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.run(method="analytic")
+
+    def test_five_variants_evaluated(self, result):
+        tco = result.data["tables"]["Perf/TCO-$"]
+        assert set(tco.systems) == {
+            "srvr1", "N2", "N2-no-embedded", "N2-no-cooling",
+            "N2-no-memshare", "N2-no-flashdisk",
+        }
+
+    def test_full_n2_beats_every_ablated_variant(self, result):
+        tco = result.data["tables"]["Perf/TCO-$"]
+        full = tco.hmean("N2")
+        for variant, delta in result.data["contributions"].items():
+            if variant != "N2":
+                assert tco.hmean(variant) <= full + 0.02, variant
+
+    def test_embedded_platform_is_the_biggest_contributor(self, result):
+        contributions = {
+            k: v for k, v in result.data["contributions"].items() if k != "N2"
+        }
+        assert max(contributions, key=contributions.get) == "N2-no-embedded"
+
+
+class TestDiurnal:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return diurnal.run()
+
+    def test_reports_all_three_systems(self, result):
+        assert set(result.data) == {"srvr1", "desk", "emb1"}
+
+    def test_energy_ordering_follows_power(self, result):
+        assert (
+            result.data["srvr1"]["daily_kwh"]
+            > result.data["desk"]["daily_kwh"]
+            > result.data["emb1"]["daily_kwh"]
+        )
+
+    def test_parking_saves_on_every_platform(self, result):
+        for system, values in result.data.items():
+            assert 0.0 < values["savings"] < 0.5, system
+            assert values["managed_kwh"] < values["daily_kwh"]

@@ -1,0 +1,38 @@
+"""Tests of the future-work (N3) composition experiment."""
+
+import pytest
+
+from repro.experiments import future
+from repro.experiments.future import _cbf_dma_slowdown, _shared_compressed_scheme
+from repro.memsim.provisioning import DYNAMIC_PROVISIONING
+
+
+class TestBuildingBlocks:
+    def test_cbf_dma_slowdown_much_smaller_than_baseline(self):
+        slowdown = _cbf_dma_slowdown(0.02)
+        assert slowdown < 0.005
+        assert slowdown > 0.0
+
+    def test_shared_compressed_scheme_shrinks_remote_dram(self):
+        scheme = _shared_compressed_scheme()
+        assert scheme.local_fraction == DYNAMIC_PROVISIONING.local_fraction
+        assert scheme.remote_fraction < DYNAMIC_PROVISIONING.remote_fraction / 1.5
+        assert scheme.memory_cost_factor() < DYNAMIC_PROVISIONING.memory_cost_factor()
+
+
+class TestFutureExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return future.run(method="analytic")
+
+    def test_all_steps_reported(self, result):
+        assert set(result.data) == {"N2", "N3-memfast", "N3-memlean", "N3-flash"}
+
+    def test_memory_enhancements_improve_on_n2(self, result):
+        assert result.data["N3-memfast"] > result.data["N2"]
+        assert result.data["N3-memlean"] > result.data["N3-memfast"]
+
+    def test_flash_replacement_loses_on_tco_at_2008_pricing(self, result):
+        """The interesting negative result: a $448 flash array erases the
+        TCO gains even though it improves performance and Perf/W."""
+        assert result.data["N3-flash"] < result.data["N3-memlean"]

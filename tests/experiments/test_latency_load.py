@@ -1,0 +1,44 @@
+"""Tests of the latency-vs-load open-loop experiment."""
+
+import pytest
+
+from repro.experiments import latency_load
+from repro.simulator.server_sim import SimConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return latency_load.run(
+        config=SimConfig(warmup_requests=120, measure_requests=900, seed=21)
+    )
+
+
+class TestLatencyLoad:
+    def test_all_systems_swept(self, result):
+        assert set(result.data) == {"srvr1", "desk", "emb1"}
+
+    def test_latency_monotone_in_load(self, result):
+        for system, sweep in result.data.items():
+            p95s = [
+                vals["p95_ms"]
+                for load, vals in sorted(sweep.items())
+                if "p95_ms" in vals
+            ]
+            assert all(a <= b * 1.15 for a, b in zip(p95s, p95s[1:])), system
+
+    def test_qos_holds_at_light_load(self, result):
+        for system, sweep in result.data.items():
+            assert sweep[0.3].get("qos_met") == 1.0, system
+
+    def test_slow_platforms_violate_earlier(self, result):
+        """emb1's p95 crosses the budget at a lower relative load than
+        srvr1 -- the mechanism behind its lower QoS-relative performance."""
+        def first_violation(sweep):
+            for load, vals in sorted(sweep.items()):
+                if vals.get("qos_met") == 0.0 or "overloaded" in vals:
+                    return load
+            return 1.0
+
+        assert first_violation(result.data["emb1"]) <= first_violation(
+            result.data["srvr1"]
+        )

@@ -1,0 +1,98 @@
+"""Tests of the memory-blade controller: allocation and isolation."""
+
+import pytest
+
+from repro.memsim.blade import (
+    IsolationError,
+    MemoryBlade,
+    PAGE_SIZE_BYTES,
+    PCIE_PER_SERVER_COST_USD,
+    PCIE_PER_SERVER_POWER_W,
+)
+
+_PAGE = bytes(PAGE_SIZE_BYTES)
+
+
+@pytest.fixture
+def blade():
+    return MemoryBlade(capacity_gb=1.0)
+
+
+class TestAllocation:
+    def test_capacity_in_pages(self, blade):
+        assert blade.capacity_pages == (1 << 30) // PAGE_SIZE_BYTES
+
+    def test_allocate_and_track(self, blade):
+        blade.allocate("server-a", 1000)
+        blade.allocate("server-b", 2000)
+        assert blade.allocated_pages == 3000
+        assert blade.free_pages == blade.capacity_pages - 3000
+
+    def test_overcommit_rejected(self, blade):
+        with pytest.raises(MemoryError):
+            blade.allocate("greedy", blade.capacity_pages + 1)
+
+    def test_double_allocation_rejected(self, blade):
+        blade.allocate("server-a", 10)
+        with pytest.raises(ValueError):
+            blade.allocate("server-a", 10)
+
+    def test_release_frees_capacity(self, blade):
+        blade.allocate("server-a", 500)
+        blade.release("server-a")
+        assert blade.free_pages == blade.capacity_pages
+        assert blade.allocation_of("server-a") is None
+
+    def test_nonpositive_allocation_rejected(self, blade):
+        with pytest.raises(ValueError):
+            blade.allocate("server-a", 0)
+
+
+class TestIsolation:
+    def test_unallocated_server_cannot_touch_pages(self, blade):
+        with pytest.raises(IsolationError):
+            blade.read_page("stranger", 0)
+
+    def test_out_of_range_page_rejected(self, blade):
+        blade.allocate("server-a", 10)
+        with pytest.raises(IsolationError):
+            blade.write_page("server-a", 10, _PAGE)
+        with pytest.raises(IsolationError):
+            blade.read_page("server-a", -1)
+
+    def test_servers_cannot_see_each_others_data(self, blade):
+        blade.allocate("server-a", 10)
+        blade.allocate("server-b", 10)
+        blade.write_page("server-a", 3, b"\x42" * PAGE_SIZE_BYTES)
+        # Same page number, different server: fresh zero page.
+        assert blade.read_page("server-b", 3) == _PAGE
+
+
+class TestTransfers:
+    def test_exclusive_swap_semantics(self, blade):
+        """A page read back from the blade leaves the blade (exclusive
+        caching: it now lives only in the server's local memory)."""
+        blade.allocate("server-a", 10)
+        payload = b"\x07" * PAGE_SIZE_BYTES
+        blade.write_page("server-a", 5, payload)
+        assert blade.read_page("server-a", 5) == payload
+        # Second read: the page is gone; fresh zero-filled page.
+        assert blade.read_page("server-a", 5) == _PAGE
+
+    def test_transfer_counters(self, blade):
+        blade.allocate("server-a", 10)
+        blade.write_page("server-a", 1, _PAGE)
+        blade.read_page("server-a", 1)
+        assert blade.transfers_to_blade == 1
+        assert blade.transfers_from_blade == 1
+
+    def test_wrong_page_size_rejected(self, blade):
+        blade.allocate("server-a", 10)
+        with pytest.raises(ValueError):
+            blade.write_page("server-a", 1, b"short")
+
+
+class TestPaperConstants:
+    def test_pcie_overheads_match_paper(self):
+        assert PCIE_PER_SERVER_COST_USD == 10.0
+        assert PCIE_PER_SERVER_POWER_W == 1.45

@@ -1,0 +1,80 @@
+"""Tests of static vs dynamic memory provisioning (Figure 4(c))."""
+
+import pytest
+
+from repro.costmodel.components import ComponentSpec
+from repro.experiments.figure4 import provisioning_efficiencies
+from repro.memsim.provisioning import (
+    DYNAMIC_PROVISIONING,
+    STATIC_PARTITIONING,
+    ProvisioningScheme,
+    provisioned_memory_spec,
+)
+
+
+class TestSchemes:
+    def test_static_keeps_total_capacity(self):
+        assert STATIC_PARTITIONING.total_fraction == pytest.approx(1.0)
+
+    def test_dynamic_is_85_percent(self):
+        """Paper: 25% local + 60% on blades = 85% of baseline."""
+        assert DYNAMIC_PROVISIONING.total_fraction == pytest.approx(0.85)
+
+    def test_cost_factor_applies_remote_discount(self):
+        # static: 0.25 + 0.75 * 0.76
+        assert STATIC_PARTITIONING.memory_cost_factor() == pytest.approx(0.82)
+        assert DYNAMIC_PROVISIONING.memory_cost_factor() == pytest.approx(0.706)
+
+    def test_power_factor_applies_powerdown(self):
+        # static: 0.25 + 0.75 * 0.10
+        assert STATIC_PARTITIONING.memory_power_factor() == pytest.approx(0.325)
+        assert DYNAMIC_PROVISIONING.memory_power_factor() == pytest.approx(0.31)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProvisioningScheme("bad", local_fraction=0.0, remote_fraction=0.5)
+        with pytest.raises(ValueError):
+            ProvisioningScheme("bad", local_fraction=0.5, remote_fraction=0.6)
+
+
+class TestProvisionedMemorySpec:
+    def test_includes_pcie_overheads(self):
+        baseline = ComponentSpec(160.0, 18.0)
+        spec = provisioned_memory_spec(baseline, DYNAMIC_PROVISIONING)
+        assert spec.cost_usd == pytest.approx(160 * 0.706 + 10.0)
+        assert spec.power_w == pytest.approx(18 * 0.31 + 1.45)
+
+    def test_provisioned_memory_is_cheaper_and_cooler(self):
+        baseline = ComponentSpec(350.0, 25.0)
+        for scheme in (STATIC_PARTITIONING, DYNAMIC_PROVISIONING):
+            spec = provisioned_memory_spec(baseline, scheme)
+            assert spec.cost_usd < baseline.cost_usd
+            assert spec.power_w < baseline.power_w
+
+
+class TestFigure4c:
+    """Paper values: static 102%/116%/108%, dynamic 106%/116%/111%."""
+
+    @pytest.fixture(scope="class")
+    def efficiencies(self):
+        return provisioning_efficiencies()
+
+    def test_static_inf_gain_is_negligible(self, efficiencies):
+        assert efficiencies["static"]["perf_per_inf"] == pytest.approx(1.02, abs=0.03)
+
+    def test_dynamic_inf_gain_larger(self, efficiencies):
+        assert efficiencies["dynamic"]["perf_per_inf"] == pytest.approx(1.06, abs=0.03)
+        assert (
+            efficiencies["dynamic"]["perf_per_inf"]
+            > efficiencies["static"]["perf_per_inf"]
+        )
+
+    def test_power_gains_substantial(self, efficiencies):
+        for scheme in ("static", "dynamic"):
+            assert efficiencies[scheme]["perf_per_watt"] == pytest.approx(
+                1.16, abs=0.08
+            )
+
+    def test_tco_gains_match_paper_band(self, efficiencies):
+        assert efficiencies["static"]["perf_per_tco"] == pytest.approx(1.08, abs=0.04)
+        assert efficiencies["dynamic"]["perf_per_tco"] == pytest.approx(1.11, abs=0.04)

@@ -1,0 +1,53 @@
+"""Unit tests for CPU models."""
+
+import pytest
+
+from repro.platforms.catalog import platform
+from repro.platforms.cpu import CpuModel, Microarchitecture
+
+
+def _cpu(**kw):
+    defaults = dict(
+        name="cpu",
+        sockets=1,
+        cores_per_socket=2,
+        frequency_ghz=2.0,
+        microarchitecture=Microarchitecture.OUT_OF_ORDER,
+        l1_kb=32,
+        l2_kb=2048,
+    )
+    defaults.update(kw)
+    return CpuModel(**defaults)
+
+
+class TestCpuModel:
+    def test_total_cores(self):
+        assert _cpu(sockets=2, cores_per_socket=4).total_cores == 8
+
+    def test_l2_mb(self):
+        assert _cpu(l2_kb=8192).l2_mb == 8.0
+
+    def test_out_of_order_flag(self):
+        assert _cpu().is_out_of_order
+        assert not _cpu(microarchitecture=Microarchitecture.IN_ORDER).is_out_of_order
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _cpu(sockets=0)
+        with pytest.raises(ValueError):
+            _cpu(frequency_ghz=0)
+        with pytest.raises(ValueError):
+            _cpu(l2_kb=0)
+
+    def test_summary_matches_table2_style(self):
+        srvr1 = platform("srvr1").cpu
+        assert srvr1.summary() == "2p x 4 cores, 2.6 GHz, OoO, 64K/8MB L1/L2"
+
+    def test_summary_sub_ghz_uses_mhz(self):
+        emb2 = platform("emb2").cpu
+        assert "600MHz" in emb2.summary()
+        assert "in-order" in emb2.summary()
+
+    def test_summary_small_l2_in_kb(self):
+        emb2 = platform("emb2").cpu
+        assert "128K" in emb2.summary()

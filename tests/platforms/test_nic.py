@@ -1,0 +1,28 @@
+"""Unit tests for NIC models."""
+
+import pytest
+
+from repro.platforms.nic import GIGABIT, TEN_GIGABIT, Nic
+
+
+class TestNic:
+    def test_bandwidth_conversion(self):
+        assert GIGABIT.bandwidth_mb_s == pytest.approx(125.0)
+        assert TEN_GIGABIT.bandwidth_mb_s == pytest.approx(1250.0)
+
+    def test_transfer_time_includes_overhead(self):
+        t = GIGABIT.transfer_time_ms(125_000)
+        assert t == pytest.approx(GIGABIT.per_transfer_overhead_ms + 1.0)
+
+    def test_zero_bytes_costs_only_overhead(self):
+        assert GIGABIT.transfer_time_ms(0) == pytest.approx(
+            GIGABIT.per_transfer_overhead_ms
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Nic(name="bad", bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            Nic(name="bad", bandwidth_gbps=1.0, per_transfer_overhead_ms=-1.0)
+        with pytest.raises(ValueError):
+            GIGABIT.transfer_time_ms(-1)

@@ -1,0 +1,68 @@
+"""Tests of the discrete-event engine."""
+
+import pytest
+
+from repro.simulator.engine import Simulation
+
+
+class TestSimulation:
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(5.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(9.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_fifo(self):
+        sim = Simulation()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(3.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.schedule(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5, 7.0]
+
+    def test_nested_scheduling_is_relative_to_now(self):
+        sim = Simulation()
+        seen = []
+
+        def first():
+            sim.schedule(3.0, lambda: seen.append(sim.now))
+
+        sim.schedule(2.0, first)
+        sim.run()
+        assert seen == [5.0]
+
+    def test_stop_halts_processing(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+        assert sim.pending_events == 1
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(2))
+        sim.run(until_ms=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)

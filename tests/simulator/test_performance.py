@@ -1,0 +1,86 @@
+"""Tests of the top-level performance scoring."""
+
+import pytest
+
+from repro.platforms.catalog import platform
+from repro.simulator.performance import (
+    measure_performance,
+    relative_performance_matrix,
+)
+from repro.simulator.server_sim import SimConfig
+from repro.workloads.base import MetricKind
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimConfig(warmup_requests=100, measure_requests=700, seed=13)
+
+
+class TestMeasurePerformance:
+    def test_interactive_score_is_rps(self, config):
+        result = measure_performance(
+            platform("desk"), make_workload("websearch"), config=config
+        )
+        assert result.metric_kind is MetricKind.RPS_QOS
+        assert result.execution_time_s is None
+        assert result.score == result.throughput_rps
+
+    def test_batch_score_is_inverse_execution_time(self, config):
+        result = measure_performance(
+            platform("desk"), make_workload("mapred-wc"), config=config
+        )
+        assert result.metric_kind is MetricKind.EXECUTION_TIME
+        assert result.execution_time_s is not None
+        assert result.score == pytest.approx(1.0 / result.execution_time_s)
+
+    def test_analytic_method_close_to_sim_for_batch(self, config):
+        workload = make_workload("mapred-wc")
+        plat = platform("srvr2")
+        sim = measure_performance(plat, workload, config=config, method="sim")
+        mva = measure_performance(plat, workload, method="analytic")
+        assert mva.score == pytest.approx(sim.score, rel=0.15)
+
+    def test_memory_slowdown_propagates(self, config):
+        plat = platform("emb1")
+        workload = make_workload("webmail")
+        base = measure_performance(plat, workload, method="analytic")
+        slowed = measure_performance(
+            plat, workload, method="analytic", memory_slowdown=1.3
+        )
+        assert slowed.score < base.score
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            measure_performance(
+                platform("desk"), make_workload("ytube"), method="magic"
+            )
+
+
+class TestRelativeMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return relative_performance_matrix(
+            ["srvr1", "srvr2", "desk", "mobl", "emb1", "emb2"],
+            ["websearch", "webmail", "mapred-wc"],
+            method="analytic",
+        )
+
+    def test_baseline_column_is_one(self, matrix):
+        for bench in matrix:
+            assert matrix[bench]["srvr1"] == pytest.approx(1.0)
+
+    def test_lower_end_systems_never_beat_srvr1(self, matrix):
+        for bench, row in matrix.items():
+            for system, value in row.items():
+                assert value <= 1.05, (bench, system)
+
+    def test_emb2_is_always_worst(self, matrix):
+        for bench, row in matrix.items():
+            assert row["emb2"] == min(row.values()), bench
+
+    def test_baseline_added_if_missing(self):
+        matrix = relative_performance_matrix(
+            ["desk"], ["mapred-wc"], baseline="srvr1", method="analytic"
+        )
+        assert "srvr1" in matrix["mapred-wc"]

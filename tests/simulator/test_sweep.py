@@ -1,0 +1,63 @@
+"""Tests of the adaptive QoS client driver."""
+
+import pytest
+
+from repro.platforms.catalog import platform
+from repro.simulator.server_sim import ServerSimulator, SimConfig
+from repro.simulator.sweep import QosSweep
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimConfig(warmup_requests=100, measure_requests=700, seed=9)
+
+
+class TestQosSweep:
+    def test_peak_meets_qos(self, config):
+        result = QosSweep(platform("srvr2"), make_workload("websearch"),
+                          config=config).find_peak()
+        assert result.qos_met
+        assert result.throughput_rps > 0
+
+    def test_peak_is_near_qos_boundary(self, config):
+        """Pushing well past the found population should violate QoS."""
+        plat = platform("srvr2")
+        workload = make_workload("websearch")
+        result = QosSweep(plat, workload, config=config).find_peak()
+        beyond = ServerSimulator(
+            plat, workload, population=result.population * 3, config=config
+        ).run()
+        assert not beyond.qos_met
+
+    def test_degraded_mode_when_qos_unattainable(self, config):
+        """emb2 webmail: one request's service time already busts the
+        budget; the driver reports single-client throughput."""
+        result = QosSweep(platform("emb2"), make_workload("webmail"),
+                          config=config).find_peak()
+        assert not result.qos_met
+        assert result.population == 1
+        assert result.throughput_rps > 0
+
+    def test_population_cap_respected(self, config):
+        """ytube's connection cap bounds the sweep."""
+        workload = make_workload("ytube")
+        result = QosSweep(platform("srvr1"), workload, config=config).find_peak()
+        assert result.population <= workload.profile.max_population
+
+    def test_caches_simulations(self, config):
+        sweep = QosSweep(platform("desk"), make_workload("webmail"), config=config)
+        result = sweep.find_peak()
+        assert result.evaluations >= 1
+        # Re-running is free (cache) and deterministic.
+        again = sweep.find_peak()
+        assert again.throughput_rps == result.throughput_rps
+
+    def test_faster_platform_achieves_higher_peak(self, config):
+        workload_name = "websearch"
+        peaks = {}
+        for name in ("srvr1", "emb1"):
+            peaks[name] = QosSweep(
+                platform(name), make_workload(workload_name), config=config
+            ).find_peak().throughput_rps
+        assert peaks["srvr1"] > 2 * peaks["emb1"]

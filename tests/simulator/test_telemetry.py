@@ -1,0 +1,99 @@
+"""Tests (incl. property-based) of the telemetry accumulators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.telemetry import LatencyHistogram, TimeSeries
+
+
+class TestLatencyHistogram:
+    def test_counts_and_mean(self):
+        hist = LatencyHistogram()
+        for v in (1.0, 2.0, 3.0):
+            hist.record(v)
+        assert hist.count == 3
+        assert hist.mean_ms == pytest.approx(2.0)
+        assert hist.max_ms == 3.0
+
+    def test_percentile_within_bucket_error(self):
+        hist = LatencyHistogram(growth=1.1)
+        rng = random.Random(1)
+        values = [rng.expovariate(1.0 / 50.0) for _ in range(20_000)]
+        for v in values:
+            hist.record(v)
+        values.sort()
+        exact_p95 = values[int(0.95 * len(values))]
+        assert hist.percentile_ms(0.95) == pytest.approx(exact_p95, rel=0.12)
+
+    def test_percentile_never_exceeds_max(self):
+        hist = LatencyHistogram()
+        hist.record(42.0)
+        assert hist.percentile_ms(1.0) <= 42.0 + 1e-9
+
+    def test_nonzero_buckets_cover_all_samples(self):
+        hist = LatencyHistogram()
+        for v in (0.001, 5.0, 5.1, 1e7):  # includes under/overflow values
+            hist.record(v)
+        assert sum(c for _, _, c in hist.nonzero_buckets()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value_ms=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.record(-1.0)
+        with pytest.raises(ValueError):
+            hist.percentile_ms(0.5)  # empty
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile_ms(1.5)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=500
+        ),
+        percentile=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_bounds_the_right_mass(self, values, percentile):
+        hist = LatencyHistogram()
+        for v in values:
+            hist.record(v)
+        answer = hist.percentile_ms(percentile)
+        at_or_below = sum(1 for v in values if v <= answer + 1e-12)
+        assert at_or_below / len(values) >= percentile - 1e-9
+
+
+class TestTimeSeries:
+    def test_buckets_accumulate(self):
+        series = TimeSeries(bucket_ms=100.0)
+        series.record(10.0)
+        series.record(90.0)
+        series.record(150.0, value=2.0)
+        assert series.series() == [(0.0, 2.0), (100.0, 2.0)]
+
+    def test_gaps_filled_with_zero(self):
+        series = TimeSeries(bucket_ms=10.0)
+        series.record(5.0)
+        series.record(35.0)
+        assert series.series() == [(0.0, 1.0), (10.0, 0.0), (20.0, 0.0), (30.0, 1.0)]
+
+    def test_rate_per_second(self):
+        series = TimeSeries(bucket_ms=500.0)
+        for t in (0.0, 100.0, 400.0):
+            series.record(t)
+        assert series.rate_per_second() == [(0.0, 6.0)]
+
+    def test_empty_series(self):
+        assert TimeSeries(bucket_ms=10.0).series() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries(bucket_ms=0.0)
+        with pytest.raises(ValueError):
+            TimeSeries(bucket_ms=10.0).record(-1.0)

@@ -1,0 +1,65 @@
+"""Smoke tests for the example scripts (fast ones run in-process)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).parents[1] / "examples"
+
+
+def _load(name: str):
+    path = _EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_examples_exist_and_have_main():
+    expected = {
+        "quickstart",
+        "datacenter_planning",
+        "memory_blade_sizing",
+        "flash_cache_sizing",
+        "custom_server_design",
+        "cluster_tail_latency",
+        "ensemble_memory_provisioning",
+        "client_driver_session",
+        "paper_walkthrough",
+    }
+    found = {p.stem for p in _EXAMPLES.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        module = _load(name)
+        assert callable(module.main), name
+
+
+def test_quickstart_runs(capsys):
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "Perf/TCO-$" in out
+    assert "req/s" in out
+
+
+def test_ensemble_memory_provisioning_runs(capsys):
+    _load("ensemble_memory_provisioning").main()
+    out = capsys.readouterr().out
+    assert "saved" in out
+    assert "conservative" in out or "optimistic" in out
+
+
+def test_paper_walkthrough_runs(capsys):
+    _load("paper_walkthrough").main()
+    out = capsys.readouterr().out
+    assert "Putting it all together" in out
+    assert "N2" in out
+
+
+def test_client_driver_session_runs(capsys):
+    _load("client_driver_session").main()
+    out = capsys.readouterr().out
+    assert "transactions/s" in out
+    assert "chosen" in out

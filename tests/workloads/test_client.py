@@ -1,0 +1,67 @@
+"""Tests of the public client-driver API."""
+
+import pytest
+
+from repro.platforms.catalog import platform
+from repro.simulator.server_sim import SimConfig
+from repro.workloads.client import ClientDriver
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimConfig(warmup_requests=100, measure_requests=700, seed=17)
+
+
+class TestClientDriver:
+    def test_reports_peak_transaction_rate(self, config):
+        report = ClientDriver(
+            platform("desk"), make_workload("websearch"), config=config
+        ).run()
+        assert report.transaction_rate_rps > 0
+        assert report.qos_met
+        assert report.clients >= 1
+        assert report.workload == "websearch"
+        assert report.platform == "desk"
+
+    def test_explored_points_are_recorded(self, config):
+        report = ClientDriver(
+            platform("srvr2"), make_workload("webmail"), config=config
+        ).run()
+        assert len(report.explored) >= 2
+        populations = [p.clients for p in report.explored]
+        assert populations == sorted(populations)
+        best = max(
+            (p for p in report.explored if p.qos_met),
+            key=lambda p: p.transaction_rate_rps,
+        )
+        assert report.transaction_rate_rps == pytest.approx(
+            best.transaction_rate_rps
+        )
+
+    def test_think_time_override_reduces_per_client_rate(self, config):
+        fast = ClientDriver(
+            platform("desk"), make_workload("webmail"),
+            think_time_ms=100.0, config=config,
+        ).run()
+        slow = ClientDriver(
+            platform("desk"), make_workload("webmail"),
+            think_time_ms=8000.0, config=config,
+        ).run()
+        # Peak rate is a server property; patient clients need more
+        # concurrency to reach it.
+        assert slow.clients > fast.clients
+
+    def test_describe_mentions_rate_and_clients(self, config):
+        report = ClientDriver(
+            platform("desk"), make_workload("websearch"), config=config
+        ).run()
+        text = report.describe()
+        assert "transactions/s" in text
+        assert "clients" in text
+
+    def test_negative_think_time_rejected(self):
+        with pytest.raises(ValueError):
+            ClientDriver(
+                platform("desk"), make_workload("websearch"), think_time_ms=-1.0
+            )

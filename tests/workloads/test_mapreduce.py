@@ -1,0 +1,70 @@
+"""Structural tests of the mapreduce task models."""
+
+import random
+
+import pytest
+
+from repro.workloads.base import MetricKind
+from repro.workloads.mapreduce import (
+    REDUCE_FRACTION,
+    THREADS_PER_CORE,
+    WC_WORK_UNITS,
+    WR_WORK_UNITS,
+    make_mapred_wc,
+    make_mapred_wr,
+)
+
+
+@pytest.fixture(scope="module")
+def wc():
+    return make_mapred_wc()
+
+
+@pytest.fixture(scope="module")
+def wr():
+    return make_mapred_wr()
+
+
+class TestMapreduce:
+    def test_metric_is_execution_time(self, wc, wr):
+        assert wc.profile.metric_kind is MetricKind.EXECUTION_TIME
+        assert wr.profile.metric_kind is MetricKind.EXECUTION_TIME
+
+    def test_four_threads_per_core(self, wc):
+        assert THREADS_PER_CORE == 4
+        assert wc.profile.population.population(8) == 32
+        assert wc.profile.population.population(2) == 8
+
+    def test_no_qos_and_no_think_time(self, wc):
+        assert wc.profile.qos is None
+        assert wc.profile.think_time_ms == 0.0
+
+    def test_work_units_positive(self, wc, wr):
+        assert wc.profile.total_work_units == WC_WORK_UNITS > 0
+        assert wr.profile.total_work_units == WR_WORK_UNITS > 0
+
+    def test_wr_tasks_are_writes_wc_are_reads(self, wc, wr):
+        rng = random.Random(21)
+        assert all(not wc.sample(rng).demand.disk_write for _ in range(50))
+        assert all(wr.sample(rng).demand.disk_write for _ in range(50))
+
+    def test_reduce_tasks_carry_more_network(self, wc):
+        rng = random.Random(22)
+        maps, reduces = [], []
+        for _ in range(4000):
+            r = wc.sample(rng)
+            (reduces if r.kind == "reduce" else maps).append(r.demand.net_bytes)
+        assert len(reduces) / 4000 == pytest.approx(REDUCE_FRACTION, abs=0.03)
+        assert sum(reduces) / len(reduces) > 2 * sum(maps) / len(maps)
+
+    def test_wr_is_more_disk_intensive_than_wc(self, wc, wr):
+        assert (
+            wr.mean_demand().disk_bytes > 2 * wc.mean_demand().disk_bytes
+        )
+
+    def test_task_sizes_are_near_uniform_blocks(self, wc):
+        rng = random.Random(23)
+        sizes = [wc.sample(rng).demand.disk_bytes for _ in range(2000)]
+        mean = sum(sizes) / len(sizes)
+        assert min(sizes) > 0.5 * mean
+        assert max(sizes) < 1.6 * mean

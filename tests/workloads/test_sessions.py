@@ -1,0 +1,60 @@
+"""Tests of the webmail session generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.webmail import ACTION_MIX, SessionGenerator
+
+
+class TestSessionGenerator:
+    def test_sessions_start_login_end_logout(self):
+        generator = SessionGenerator()
+        rng = random.Random(1)
+        for _ in range(100):
+            session = generator.session(rng)
+            assert session[0] == "login"
+            assert session[-1] == "logout"
+            assert len(session) >= 3
+            assert "login" not in session[1:-1]
+            assert "logout" not in session[1:-1]
+
+    def test_mean_length_matches_parameter(self):
+        generator = SessionGenerator(mean_body_actions=8.0)
+        rng = random.Random(2)
+        lengths = [len(generator.session(rng)) - 2 for _ in range(4000)]
+        assert sum(lengths) / len(lengths) == pytest.approx(8.0, rel=0.1)
+
+    def test_body_mix_matches_stationary_weights(self):
+        """The session structure must reproduce the i.i.d. action mix the
+        throughput model uses (restricted to body actions)."""
+        generator = SessionGenerator()
+        rng = random.Random(3)
+        counts = {}
+        total = 0
+        for _ in range(3000):
+            for action in generator.session(rng)[1:-1]:
+                counts[action] = counts.get(action, 0) + 1
+                total += 1
+        body = {a.name: a.weight for a in ACTION_MIX
+                if a.name not in ("login", "logout")}
+        body_total = sum(body.values())
+        for name, weight in body.items():
+            assert counts[name] / total == pytest.approx(
+                weight / body_total, abs=0.03
+            ), name
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionGenerator(mean_body_actions=0.5)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_sessions_always_well_formed(self, seed):
+        generator = SessionGenerator(mean_body_actions=3.0)
+        session = generator.session(random.Random(seed))
+        assert session[0] == "login" and session[-1] == "logout"
+        valid_names = {a.name for a in ACTION_MIX}
+        assert all(name in valid_names for name in session)

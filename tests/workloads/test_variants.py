@@ -1,0 +1,79 @@
+"""Tests of the workload variants."""
+
+import pytest
+
+from repro.workloads.suite import make_workload
+from repro.workloads.variants import (
+    make_mapred_compute_heavy,
+    make_webmail_light_users,
+    make_websearch_large_index,
+    make_ytube_viral,
+)
+
+
+class TestWebsearchLargeIndex:
+    def test_scales_demands_sublinearly_for_cpu(self):
+        base = make_workload("websearch").mean_demand()
+        big = make_websearch_large_index(scale=4.0).mean_demand()
+        assert big.cpu_ms_ref == pytest.approx(base.cpu_ms_ref * 2.0)
+        assert big.disk_bytes == pytest.approx(base.disk_bytes * 4.0)
+
+    def test_sampler_means_track_profile(self):
+        workload = make_websearch_large_index(scale=4.0)
+        measured = workload.estimate_mean_demand(samples=4000)
+        assert measured.cpu_ms_ref == pytest.approx(
+            workload.mean_demand().cpu_ms_ref, rel=0.1
+        )
+
+    def test_keeps_qos_and_metric(self):
+        workload = make_websearch_large_index()
+        base = make_workload("websearch")
+        assert workload.profile.qos == base.profile.qos
+        assert workload.profile.metric_kind == base.profile.metric_kind
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            make_websearch_large_index(scale=0.5)
+
+
+class TestOtherVariants:
+    def test_light_users_are_lighter_everywhere(self):
+        base = make_workload("webmail").mean_demand()
+        light = make_webmail_light_users().mean_demand()
+        assert light.cpu_ms_ref < base.cpu_ms_ref
+        assert light.disk_bytes < base.disk_bytes
+        assert light.net_bytes < base.net_bytes
+
+    def test_viral_catalog_reduces_disk_traffic_only(self):
+        base = make_workload("ytube").mean_demand()
+        viral = make_ytube_viral(alpha_boost=2.0).mean_demand()
+        assert viral.disk_bytes == pytest.approx(base.disk_bytes / 2)
+        assert viral.net_bytes == pytest.approx(base.net_bytes)
+        assert viral.cpu_ms_ref == pytest.approx(base.cpu_ms_ref)
+
+    def test_compute_heavy_mapreduce_shifts_bottleneck(self):
+        """6x CPU work turns mapred-wc CPU-bound even on srvr1 (8 cores
+        hide a lot of per-task compute)."""
+        from repro.platforms.catalog import platform
+        from repro.simulator.analytic import AnalyticServerModel
+
+        heavy = make_mapred_compute_heavy(cpu_factor=6.0)
+        model = AnalyticServerModel(platform("srvr1"), heavy)
+        assert model.bottleneck() == "cpu"
+        base_model = AnalyticServerModel(platform("srvr1"), make_workload("mapred-wc"))
+        assert base_model.bottleneck() == "disk"
+
+    def test_variant_names_are_distinct(self):
+        names = {
+            make_websearch_large_index().name,
+            make_webmail_light_users().name,
+            make_ytube_viral().name,
+            make_mapred_compute_heavy().name,
+        }
+        assert len(names) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_ytube_viral(alpha_boost=0.5)
+        with pytest.raises(ValueError):
+            make_mapred_compute_heavy(cpu_factor=0.0)

@@ -1,0 +1,64 @@
+"""Structural tests of the webmail session model."""
+
+import random
+
+import pytest
+
+from repro.workloads.webmail import ACTION_MIX, QOS, make_webmail
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_webmail()
+
+
+class TestWebmail:
+    def test_qos_matches_paper(self):
+        assert QOS.limit_ms == 800.0
+        assert QOS.percentile == 0.95
+
+    def test_action_mix_weights_sum_to_one(self):
+        assert sum(a.weight for a in ACTION_MIX) == pytest.approx(1.0)
+
+    def test_reads_dominate_the_mix(self):
+        """LoadSim heavy users read far more than they compose."""
+        weights = {a.name: a.weight for a in ACTION_MIX}
+        assert weights["read-message"] == max(weights.values())
+
+    def test_sampled_action_frequencies_follow_weights(self, workload):
+        rng = random.Random(7)
+        counts = {}
+        n = 6000
+        for _ in range(n):
+            kind = workload.sample(rng).kind
+            counts[kind] = counts.get(kind, 0) + 1
+        for action in ACTION_MIX:
+            assert counts.get(action.name, 0) / n == pytest.approx(
+                action.weight, abs=0.03
+            )
+
+    def test_attachments_inflate_transfer_sizes(self, workload):
+        rng = random.Random(8)
+        reads = [
+            r.demand.net_bytes
+            for r in (workload.sample(rng) for _ in range(6000))
+            if r.kind == "read-message"
+        ]
+        reads.sort()
+        # ~25% of reads carry an 8x attachment: strong upper-tail skew.
+        assert reads[-1] > 4 * reads[len(reads) // 2]
+
+    def test_php_is_single_threaded(self, workload):
+        rng = random.Random(9)
+        assert all(
+            workload.sample(rng).demand.cpu_parallelism == 1 for _ in range(100)
+        )
+
+    def test_most_cache_sensitive_benchmark(self, workload):
+        from repro.workloads.suite import make_workload
+
+        others = [
+            make_workload(n).profile.cache_sensitivity
+            for n in ("websearch", "ytube", "mapred-wc", "mapred-wr")
+        ]
+        assert workload.profile.cache_sensitivity > max(others)

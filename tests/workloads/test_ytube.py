@@ -1,0 +1,60 @@
+"""Structural tests of the ytube streaming model."""
+
+import random
+
+import pytest
+
+from repro.workloads.base import MetricKind
+from repro.workloads.ytube import CACHED_VIDEOS, DEFAULT_POPULATION, make_ytube
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_ytube()
+
+
+class TestYtube:
+    def test_metric_is_streaming_rps(self, workload):
+        assert workload.profile.metric_kind is MetricKind.RPS_STREAM
+
+    def test_connection_population_is_capped(self, workload):
+        """The per-connection memory state limits concurrent streams; the
+        adaptive driver must not grow past the cap."""
+        assert workload.profile.max_population == DEFAULT_POPULATION
+
+    def test_pacing_think_time_dominates_service(self, workload):
+        assert workload.profile.think_time_ms >= 10_000
+
+    def test_cached_streams_have_no_disk_traffic(self, workload):
+        rng = random.Random(11)
+        for _ in range(800):
+            r = workload.sample(rng)
+            if r.kind == "stream-cached":
+                assert r.demand.disk_bytes == 0.0
+                assert r.demand.disk_ios == 0.0
+            else:
+                assert r.kind == "stream-disk"
+                assert r.demand.disk_bytes > 0.0
+
+    def test_popular_head_is_served_from_cache(self, workload):
+        """Zipf popularity concentrates traffic on the cached head."""
+        rng = random.Random(12)
+        cached = sum(
+            1
+            for _ in range(3000)
+            if workload.sample(rng).kind == "stream-cached"
+        )
+        hit_rate = cached / 3000
+        assert 0.25 < hit_rate < 0.9
+        assert CACHED_VIDEOS > 0
+
+    def test_transfer_bytes_are_heavy_tailed(self, workload):
+        rng = random.Random(13)
+        sizes = sorted(workload.sample(rng).demand.net_bytes for _ in range(4000))
+        median = sizes[len(sizes) // 2]
+        p99 = sizes[int(0.99 * len(sizes))]
+        assert p99 > 3 * median
+
+    def test_streaming_code_is_cache_insensitive(self, workload):
+        assert workload.profile.cache_sensitivity <= 0.05
+        assert workload.profile.inorder_ipc_factor >= 0.7
