@@ -17,7 +17,13 @@ open issues in section 4 that this package addresses:
 """
 
 from repro.cluster.scaleout import ScaleOutModel, amdahl_speedup
-from repro.cluster.balancer import ClusterSimulator, ClusterResult, Dispatch
+from repro.cluster.balancer import (
+    ClusterSimulator,
+    ClusterResult,
+    Dispatch,
+    FaultReport,
+    RetryPolicy,
+)
 from repro.cluster.diurnal import DiurnalLoadModel, EnsembleEnergyModel
 from repro.cluster.heterogeneous import FleetOptimizer, FleetPlan, ServiceAssignment
 
@@ -27,6 +33,8 @@ __all__ = [
     "ClusterSimulator",
     "ClusterResult",
     "Dispatch",
+    "FaultReport",
+    "RetryPolicy",
     "DiurnalLoadModel",
     "EnsembleEnergyModel",
     "FleetOptimizer",

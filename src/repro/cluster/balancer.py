@@ -6,22 +6,55 @@ benchmarks" (section 4, Metrics & models): a cluster of ``n`` simulated
 servers behind a dispatcher should sustain close to ``n`` times the
 single-server QoS-constrained throughput, with round-robin slightly worse
 than least-outstanding dispatch at the tail.
+
+The balancer also carries the repository's graceful-degradation stack
+(the paper: "high-availability ... moved into the application stack"):
+
+- *health checking*: only servers whose full serving path (server, disk,
+  NIC, enclosure PSU) is up receive new requests; if nothing is healthy
+  the dispatcher backs off and re-probes instead of crashing;
+- *timeouts and bounded retry*: with a :class:`RetryPolicy`, a request
+  that does not complete within the timeout is re-dispatched with
+  exponential backoff, up to ``max_retries`` extra attempts;
+- *hedged dispatch*: optionally, a duplicate attempt is sent to a second
+  server when the first is slow, and the first completion wins;
+- *degraded modes*: a down memory blade switches every attached server
+  to local-memory-only operation (capacity misses page in from disk); a
+  down flash cache drops to the raw-disk path.
+
+Faults come either from a scripted ``failures``/``recoveries`` schedule
+or from stochastic per-component MTBF/MTTR processes
+(:class:`repro.faults.FaultInjector`), both fully deterministic per seed.
 """
 
 from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from numbers import Real
 from typing import Dict, List, Optional
 
+from repro.faults.injector import FaultInjector
+from repro.faults.model import ComponentType, FaultProfile
 from repro.memsim.remote_memory import RemoteMemoryModel
 from repro.platforms.platform import Platform
 from repro.simulator.engine import Simulation
 from repro.simulator.resources import Resource
 from repro.simulator.server_sim import DiskModel, PlatformDiskModel
+from repro.simulator.telemetry import AvailabilityTracker
 from repro.workloads.base import Workload
 from repro.workloads.qos import QosTracker
+
+#: Dispatcher re-probe interval when no server is healthy, ms.
+HEALTH_RECHECK_MS = 25.0
+
+#: CPU service-time multiplier while the enclosure fan is down (thermal
+#: throttling keeps the blades serving, slower, instead of tripping).
+FAN_DEGRADED_THROTTLE = 1.5
+
+#: Servers per enclosure-level failure domain (fan/PSU blast radius).
+DEFAULT_ENCLOSURE_SIZE = 8
 
 
 class Dispatch(enum.Enum):
@@ -32,6 +65,61 @@ class Dispatch(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-request timeout, bounded retry, and optional hedging."""
+
+    #: Abandon an attempt that has not completed within this budget.
+    timeout_ms: float = 1000.0
+    #: Extra dispatch attempts after the first (0 = timeout only).
+    max_retries: int = 2
+    #: First retry delay; grows by ``backoff_factor`` per attempt.
+    backoff_base_ms: float = 10.0
+    backoff_factor: float = 2.0
+    #: If set, send a duplicate attempt to another server once a request
+    #: has been outstanding this long (first completion wins).
+    hedge_after_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_ms < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 with factor >= 1")
+        if self.hedge_after_ms is not None and self.hedge_after_ms <= 0:
+            raise ValueError("hedge delay must be positive")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Delay before re-dispatching attempt number ``attempt + 1``."""
+        return self.backoff_base_ms * self.backoff_factor ** max(attempt, 0)
+
+
+@dataclass
+class FaultReport:
+    """Fault-handling counters for one cluster run."""
+
+    #: Injected hardware failures by component class value.
+    injected_failures: Dict[str, int] = field(default_factory=dict)
+    timeouts: int = 0
+    retries: int = 0
+    hedges: int = 0
+    #: Completions discarded because another attempt already won.
+    wasted_completions: int = 0
+    #: Requests abandoned after exhausting the retry budget.
+    gave_up: int = 0
+    #: In-flight requests voided by a server going down.
+    lost_in_flight: int = 0
+    #: Dispatcher stalls because no server was healthy.
+    all_down_waits: int = 0
+    #: Requests served in blade-down local-memory-only mode.
+    degraded_requests: int = 0
+    #: Requests served on the raw-disk path because flash was down.
+    cache_bypassed_requests: int = 0
+    #: Total time the memory blade spent down, ms.
+    blade_downtime_ms: float = 0.0
 
 
 @dataclass
@@ -46,10 +134,18 @@ class ClusterResult:
     per_server_rps: float
     #: Completions per server (dispatch balance check).
     server_completions: List[int]
+    #: Fraction of measured requests exceeding the QoS limit.
+    qos_violation_rate: float = 0.0
+    #: Mean fraction of the run each server spent in rotation.
+    availability: float = 1.0
+    #: Fault-handling counters (None when the run injected no faults).
+    fault_report: Optional[FaultReport] = None
 
     @property
     def imbalance(self) -> float:
         """Max/mean completions across servers (1.0 = perfectly even)."""
+        if not self.server_completions:
+            return 1.0
         mean = sum(self.server_completions) / len(self.server_completions)
         return max(self.server_completions) / mean if mean else 1.0
 
@@ -66,6 +162,29 @@ class _Server:
         self.outstanding = 0
         self.completions = 0
         self.up = True
+        #: Bumped when the server drops out of rotation; attempts carry
+        #: the epoch they were dispatched under, so completions from a
+        #: pre-crash epoch are recognised as lost.
+        self.epoch = 0
+        #: Down components currently affecting this server (health = 0).
+        self.down_components = 0
+        #: CPU service-time multiplier (enclosure-fan thermal throttle).
+        self.cpu_throttle = 1.0
+        #: Attached memory blade unavailable (degraded local-only mode).
+        self.blade_down = False
+
+
+def _scripted_time(label: str, index: int, at_ms: object) -> float:
+    """Validate one scripted failure/recovery timestamp."""
+    if isinstance(at_ms, bool) or not isinstance(at_ms, Real):
+        raise TypeError(
+            f"server {index} {label} must be a single time in ms, got "
+            f"{type(at_ms).__name__!r}: the scripted schedule supports at "
+            "most one failure and one recovery per server (a recovery "
+            "followed by another failure is not representable); use "
+            "repro.faults.FaultInjector for repeated fail/repair cycles"
+        )
+    return float(at_ms)
 
 
 class ClusterSimulator:
@@ -85,6 +204,10 @@ class ClusterSimulator:
         failures: Optional[Dict[int, float]] = None,
         recoveries: Optional[Dict[int, float]] = None,
         remote_memory: Optional[RemoteMemoryModel] = None,
+        faults: Optional[FaultProfile] = None,
+        fault_seed: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        enclosure_size: int = DEFAULT_ENCLOSURE_SIZE,
     ):
         """``remote_memory`` attaches a shared memory blade: every request
         pays its expected remote-miss traffic on one blade-controller link
@@ -93,14 +216,35 @@ class ClusterSimulator:
         per-miss trap-handler CPU time on its own server.
 
         ``failures`` maps a server index to the simulated time (ms) at
-        which it crashes; the balancer stops dispatching to it (requests
-        already in flight complete -- the paper's software stack handles
-        retry/replication above this level).  ``recoveries`` maps a
-        server index to the time it comes back into rotation.  Failing
-        every server (without recovery) is rejected."""
+        which it crashes; the balancer stops dispatching to it.
+        ``recoveries`` maps a server index to the time it comes back into
+        rotation.  The scripted schedule is one-shot: at most one failure
+        and one optional later recovery per server -- a recovery followed
+        by a second failure cannot be expressed (pass ``faults`` for
+        repeated, stochastic fail/repair cycles instead).  Failing every
+        server (without recovery) is rejected.
+
+        ``faults`` enables stochastic per-component fault injection from
+        MTBF/MTTR processes (seeded by ``fault_seed``, default derived
+        from ``seed``); servers, disks, NICs, the memory blade, flash
+        caches, and enclosure fans/PSUs fail and repair over the run,
+        with correlated blast radii for the shared components.
+
+        ``retry`` adds per-request timeout, bounded retry with
+        exponential backoff, and optional hedged dispatch.  With ``retry``
+        (explicit, or the default one implied by ``faults``) a server
+        going down *loses* its in-flight requests -- clients recover via
+        timeout -- whereas without it the legacy behaviour is kept:
+        in-flight requests complete, only new dispatches avoid the dead
+        server."""
         if servers <= 0 or clients_per_server <= 0:
             raise ValueError("servers and clients_per_server must be positive")
+        if enclosure_size <= 0:
+            raise ValueError("enclosure size must be positive")
         if failures:
+            failures = {
+                i: _scripted_time("failure", i, t) for i, t in failures.items()
+            }
             bad = [i for i in failures if not 0 <= i < servers]
             if bad:
                 raise ValueError(f"failure indices out of range: {bad}")
@@ -109,6 +253,9 @@ class ClusterSimulator:
             if any(t < 0 for t in failures.values()):
                 raise ValueError("failure times must be >= 0")
         if recoveries:
+            recoveries = {
+                i: _scripted_time("recovery", i, t) for i, t in recoveries.items()
+            }
             bad = [i for i in recoveries if not 0 <= i < servers]
             if bad:
                 raise ValueError(f"recovery indices out of range: {bad}")
@@ -135,13 +282,24 @@ class ClusterSimulator:
         self._failures = dict(failures or {})
         self._recoveries = dict(recoveries or {})
         self._remote_memory = remote_memory
+        self._faults = faults
+        self._fault_seed = (
+            fault_seed if fault_seed is not None else seed ^ 0x5EED5EED
+        )
+        # Stochastic faults can strand in-flight requests, so they imply
+        # a retry policy; scripted-only runs keep the legacy semantics
+        # unless the caller asks for one.
+        self._retry = retry if retry is not None else (
+            RetryPolicy() if faults is not None else None
+        )
+        self._enclosure_size = enclosure_size
 
     def _pick(
         self, servers: List[_Server], rr_state: Dict[str, int],
         rng: random.Random,
     ) -> _Server:
         if self._dispatch is Dispatch.ROUND_ROBIN:
-            index = rr_state["next"]
+            index = rr_state["next"] % len(servers)
             rr_state["next"] = (index + 1) % len(servers)
             return servers[index]
         # Least-outstanding with random tie-breaking (a deterministic
@@ -159,6 +317,7 @@ class ClusterSimulator:
         rng = random.Random(self._seed)
         platform = self._platform
         profile = self._workload.profile
+        retry = self._retry
         servers = [
             _Server(sim, platform, self._disk_model_factory())
             for _ in range(self._servers)
@@ -167,14 +326,49 @@ class ClusterSimulator:
         blade = (
             Resource(sim, "blade", 1) if self._remote_memory is not None else None
         )
+        blade_state = {"up": True, "down_since": 0.0}
+        report = FaultReport()
+        track_faults = self._faults is not None or bool(self._failures)
+        tracker = AvailabilityTracker() if track_faults else None
+
+        def _rotation_observe(index: int, up: bool) -> None:
+            if tracker is not None:
+                tracker.observe(f"rotation/server{index}", sim.now, up=up)
+
+        def take_down(index: int) -> None:
+            server = servers[index]
+            server.down_components += 1
+            if server.down_components == 1:
+                server.up = False
+                _rotation_observe(index, up=False)
+                if retry is not None:
+                    # In-flight work on a dead server is lost; clients
+                    # recover through their timeouts.
+                    server.epoch += 1
+                    report.lost_in_flight += server.outstanding
+                    server.outstanding = 0
+
+        def bring_up(index: int) -> None:
+            server = servers[index]
+            server.down_components = max(server.down_components - 1, 0)
+            if server.down_components == 0 and not server.up:
+                server.up = True
+                _rotation_observe(index, up=True)
+
+        if tracker is not None:
+            for index in range(self._servers):
+                tracker.observe(f"rotation/server{index}", 0.0, up=True)
+
         for index, at_ms in self._failures.items():
-            def crash(i=index) -> None:
-                servers[i].up = False
-            sim.schedule(at_ms, crash)
+            sim.schedule(at_ms, lambda i=index: take_down(i))
         for index, at_ms in self._recoveries.items():
-            def recover(i=index) -> None:
-                servers[i].up = True
-            sim.schedule(at_ms, recover)
+            sim.schedule(at_ms, lambda i=index: bring_up(i))
+
+        injector: Optional[FaultInjector] = None
+        if self._faults is not None:
+            injector = self._inject_faults(
+                sim, servers, blade_state, take_down, bring_up, tracker, report
+            )
 
         qos = QosTracker(profile.qos) if profile.qos else None
         responses: List[float] = []
@@ -194,44 +388,103 @@ class ClusterSimulator:
             if state["done"]:
                 return
             request = self._workload.sample(rng)
-            demand = request.demand
+            rs = {
+                "demand": request.demand,
+                "start": sim.now,
+                "attempts": 0,
+                "finished": False,
+                "hedged": False,
+            }
+            dispatch_request(rs)
+
+        def dispatch_request(rs: dict) -> None:
+            if state["done"] or rs["finished"]:
+                return
             alive = self._alive(servers)
-            server = self._pick(alive, rr_state, rng)
+            if not alive:
+                # Health check: nobody can serve right now.  Back off and
+                # re-probe; a repair or scripted recovery will unblock us.
+                report.all_down_waits += 1
+                sim.schedule(HEALTH_RECHECK_MS, lambda: dispatch_request(rs))
+                return
+            rs["attempts"] += 1
+            start_attempt(rs, self._pick(alive, rr_state, rng))
+
+        def start_attempt(rs: dict, server: _Server, hedge: bool = False) -> None:
+            demand = rs["demand"]
+            attempt = {
+                "server": server,
+                "epoch": server.epoch,
+                "void": False,
+                "done": False,
+            }
             server.outstanding += 1
-            start = sim.now
 
             cpu_ms = platform.cpu_time_ms(
                 demand.cpu_ms_ref,
                 profile.cache_sensitivity,
                 profile.inorder_ipc_factor,
                 profile.stall_fraction,
-            )
+            ) * server.cpu_throttle
             blade_ms = 0.0
+            degraded_disk_ms = 0.0
             if self._remote_memory is not None:
                 cpu_ms += self._remote_memory.trap_cpu_ms(demand)
-                blade_ms = self._remote_memory.link_time_ms(demand)
+                if server.blade_down:
+                    # Blade down: local-memory-only mode.  Capacity
+                    # misses page in from the swap path on the server's
+                    # own disk instead of crossing the (dead) link.
+                    degraded_disk_ms = self._remote_memory.degraded_time_ms(demand)
+                    report.degraded_requests += 1
+                else:
+                    blade_ms = self._remote_memory.link_time_ms(demand)
             mem_ms = platform.memory_channel_time_ms(demand.mem_ms_ref)
-            disk_ms = server.disk_model.service_ms(demand, rng)
+            cache_was_bypassed = not getattr(server.disk_model, "available", True)
+            disk_ms = (
+                server.disk_model.service_ms(demand, rng) + degraded_disk_ms
+            )
+            if cache_was_bypassed:
+                report.cache_bypassed_requests += 1
             net_ms = platform.net_time_ms(demand.net_bytes)
 
+            def lost() -> bool:
+                return attempt["epoch"] != server.epoch
+
             def done() -> None:
+                if lost():
+                    return
                 server.outstanding -= 1
+                attempt["done"] = True
+                if attempt["void"]:
+                    return
+                if rs["finished"]:
+                    report.wasted_completions += 1
+                    return
+                rs["finished"] = True
                 server.completions += 1
-                _complete(start)
+                _complete(rs["start"])
 
             def after_disk() -> None:
+                if lost():
+                    return
                 server.nic.acquire(net_ms, done)
 
             def after_blade() -> None:
+                if lost():
+                    return
                 server.disk.acquire(disk_ms, after_disk)
 
             def after_mem() -> None:
-                if blade is not None and blade_ms > 0:
+                if lost():
+                    return
+                if blade is not None and blade_ms > 0 and blade_state["up"]:
                     blade.acquire(blade_ms, after_blade)
                 else:
                     after_blade()
 
             def after_cpu() -> None:
+                if lost():
+                    return
                 server.mem.acquire(mem_ms, after_mem)
 
             slices = max(1, min(platform.cpu.total_cores, demand.cpu_parallelism))
@@ -247,6 +500,51 @@ class ClusterSimulator:
 
                 for _ in range(slices):
                     server.cpu.acquire(cpu_ms / slices, slice_done)
+
+            if retry is None:
+                return
+
+            def on_timeout() -> None:
+                if (
+                    state["done"] or rs["finished"] or attempt["done"]
+                    or attempt["void"]
+                ):
+                    return
+                attempt["void"] = True
+                report.timeouts += 1
+                if rs["attempts"] <= retry.max_retries:
+                    report.retries += 1
+                    backoff = retry.backoff_ms(rs["attempts"] - 1)
+                    sim.schedule(backoff, lambda: dispatch_request(rs))
+                else:
+                    # Retry budget exhausted: give up and report the
+                    # request at its full elapsed time (a QoS casualty,
+                    # not a silent drop).
+                    rs["finished"] = True
+                    report.gave_up += 1
+                    _complete(rs["start"])
+
+            sim.schedule(retry.timeout_ms, on_timeout)
+
+            if retry.hedge_after_ms is None or hedge or rs["hedged"]:
+                return
+
+            def maybe_hedge() -> None:
+                if (
+                    state["done"] or rs["finished"] or attempt["done"]
+                    or attempt["void"] or rs["hedged"]
+                ):
+                    return
+                alive = self._alive(servers)
+                others = [s for s in alive if s is not server] or alive
+                if not others:
+                    return
+                rs["hedged"] = True
+                rs["attempts"] += 1
+                report.hedges += 1
+                start_attempt(rs, self._pick(others, rr_state, rng), hedge=True)
+
+            sim.schedule(retry.hedge_after_ms, maybe_hedge)
 
         def _complete(start_ms: float) -> None:
             state["completions"] += 1
@@ -270,6 +568,16 @@ class ClusterSimulator:
 
         if not state["done"]:
             raise RuntimeError("cluster simulation ended before measurement")
+        if tracker is not None:
+            if not blade_state["up"]:
+                report.blade_downtime_ms += sim.now - blade_state["down_since"]
+                blade_state["down_since"] = sim.now
+            tracker.finalize(sim.now)
+        if injector is not None:
+            report.injected_failures = {
+                ctype.value: count
+                for ctype, count in injector.failure_counts.items()
+            }
         window_s = max(state["t1"] - state["t0"], 1e-9) / 1000.0
         throughput = len(responses) / window_s
         return ClusterResult(
@@ -282,4 +590,97 @@ class ClusterSimulator:
             qos_met=qos.satisfied() if qos else True,
             per_server_rps=throughput / self._servers,
             server_completions=[s.completions for s in servers],
+            qos_violation_rate=qos.violation_rate() if qos else 0.0,
+            availability=(
+                tracker.mean_availability("rotation/")
+                if tracker is not None
+                else 1.0
+            ),
+            fault_report=report if track_faults else None,
         )
+
+    def _inject_faults(
+        self,
+        sim: Simulation,
+        servers: List[_Server],
+        blade_state: dict,
+        take_down,
+        bring_up,
+        tracker: Optional[AvailabilityTracker],
+        report: FaultReport,
+    ) -> FaultInjector:
+        """Register every hardware component with the fault injector."""
+        assert self._faults is not None
+        injector = FaultInjector(
+            sim, self._faults, seed=self._fault_seed, tracker=tracker
+        )
+
+        for index, server in enumerate(servers):
+            for ctype, label in (
+                (ComponentType.SERVER, "hw"),
+                (ComponentType.DISK, "disk"),
+                (ComponentType.NIC, "nic"),
+            ):
+                injector.register(
+                    f"server{index}/{label}",
+                    ctype,
+                    on_fail=lambda i=index: take_down(i),
+                    on_repair=lambda i=index: bring_up(i),
+                )
+            disk_model = server.disk_model
+            if hasattr(disk_model, "fail") and hasattr(disk_model, "recover"):
+                injector.register(
+                    f"server{index}/flash",
+                    ComponentType.FLASH_CACHE,
+                    on_fail=disk_model.fail,
+                    on_repair=disk_model.recover,
+                )
+
+        if self._remote_memory is not None:
+            # Correlated domain: one blade fault degrades every attached
+            # server at once (local-memory-only mode), and the repair
+            # restores them together.
+            def blade_failed() -> None:
+                blade_state["up"] = False
+                blade_state["down_since"] = sim.now
+
+            def blade_repaired() -> None:
+                blade_state["up"] = True
+                report.blade_downtime_ms += sim.now - blade_state["down_since"]
+
+            domain = injector.register_domain("blade", ComponentType.MEMORY_BLADE)
+            domain.attach(blade_failed, blade_repaired)
+            for server in servers:
+                def degrade(s=server) -> None:
+                    s.blade_down = True
+
+                def restore(s=server) -> None:
+                    s.blade_down = False
+
+                domain.attach(degrade, restore)
+
+        for start in range(0, len(servers), self._enclosure_size):
+            members = list(range(start, min(start + self._enclosure_size,
+                                            len(servers))))
+            enclosure = start // self._enclosure_size
+            fan = injector.register_domain(
+                f"enclosure{enclosure}/fan", ComponentType.ENCLOSURE_FAN
+            )
+            psu = injector.register_domain(
+                f"enclosure{enclosure}/psu", ComponentType.ENCLOSURE_PSU
+            )
+            for index in members:
+                def throttle(i=index) -> None:
+                    servers[i].cpu_throttle = FAN_DEGRADED_THROTTLE
+
+                def unthrottle(i=index) -> None:
+                    servers[i].cpu_throttle = 1.0
+
+                # Fan loss degrades (thermal throttle); PSU loss is an
+                # outage for the whole enclosure.
+                fan.attach(throttle, unthrottle)
+                psu.attach(
+                    lambda i=index: take_down(i), lambda i=index: bring_up(i)
+                )
+
+        return injector

@@ -29,6 +29,12 @@ from repro.costmodel.catalog import (
     server_bill,
     system_names,
 )
+from repro.costmodel.availability import (
+    AvailabilityAdjustedTco,
+    DEFAULT_INCIDENT_COST_USD,
+    RepairCostModel,
+    availability_weighted_perf_per_tco,
+)
 from repro.costmodel.realestate import DEFAULT_REAL_ESTATE, RealEstateModel
 from repro.costmodel.utilization_power import UtilizationPowerModel
 
@@ -49,6 +55,10 @@ __all__ = [
     "SERVER_BILLS",
     "server_bill",
     "system_names",
+    "AvailabilityAdjustedTco",
+    "DEFAULT_INCIDENT_COST_USD",
+    "RepairCostModel",
+    "availability_weighted_perf_per_tco",
     "DEFAULT_REAL_ESTATE",
     "RealEstateModel",
     "UtilizationPowerModel",

@@ -1,0 +1,181 @@
+"""Pricing availability: repair costs, downtime, and effective TCO.
+
+The paper's Perf/TCO-$ metric assumes every server is always up.
+Hamilton's modular-datacenter argument (PAPERS.md) is that commodity
+parts fail often enough that repair labour and lost serving time belong
+in the cost model.  This module adds both:
+
+- expected *repair cost* over the three-year depreciation cycle: each
+  component class fails ``cycle_hours / MTBF`` times, and every incident
+  costs a technician visit plus parts (shared components split their
+  incident cost across the servers sharing them);
+- *effective availability* of the serving path: the product of the
+  steady-state availabilities of every component a request must cross
+  (series reliability-block-diagram), optionally with degraded-only
+  components (a memory blade with a local-memory fallback, a flash cache
+  with a raw-disk path) contributing a performance-weighted factor
+  instead of an outage.
+
+``availability_weighted_perf_per_tco`` then reruns the paper's metric as
+``(perf x availability) / (TCO + repair)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.costmodel.tco import TcoBreakdown
+from repro.faults.model import (
+    ComponentType,
+    DEPRECIATION_CYCLE_HOURS,
+    FaultProfile,
+)
+
+#: Default per-incident repair cost (technician time + parts), USD.
+#: Whole-server and blade swaps are hands-on; disks/NICs/flash are
+#: sled-pull swaps; enclosure fans and PSUs are hot-swap canisters.
+DEFAULT_INCIDENT_COST_USD: Mapping[ComponentType, float] = MappingProxyType({
+    ComponentType.SERVER: 150.0,
+    ComponentType.DISK: 80.0,
+    ComponentType.NIC: 40.0,
+    ComponentType.MEMORY_BLADE: 300.0,
+    ComponentType.FLASH_CACHE: 30.0,
+    ComponentType.ENCLOSURE_FAN: 25.0,
+    ComponentType.ENCLOSURE_PSU: 60.0,
+})
+
+
+@dataclass(frozen=True)
+class RepairCostModel:
+    """Expected repair spending and availability over the cycle."""
+
+    profile: FaultProfile
+    incident_cost_usd: Mapping[ComponentType, float] = field(
+        default_factory=lambda: DEFAULT_INCIDENT_COST_USD
+    )
+    cycle_hours: float = DEPRECIATION_CYCLE_HOURS
+
+    def __post_init__(self) -> None:
+        if self.cycle_hours <= 0:
+            raise ValueError("cycle must be positive")
+        object.__setattr__(
+            self, "incident_cost_usd",
+            MappingProxyType(dict(self.incident_cost_usd)),
+        )
+
+    def incident_cost(self, component: ComponentType) -> float:
+        return self.incident_cost_usd.get(component, 0.0)
+
+    def repair_cost_usd(
+        self,
+        components: Iterable[ComponentType],
+        shared: Optional[Mapping[ComponentType, int]] = None,
+    ) -> float:
+        """Expected per-server repair cost over the depreciation cycle.
+
+        ``components`` lists every component class in one server's
+        serving path; ``shared`` maps a class to the number of servers
+        splitting it (a memory blade serving 8 servers charges each
+        server 1/8 of its incidents).
+        """
+        shared = shared or {}
+        total = 0.0
+        for component in components:
+            spec = self.profile.spec(component)
+            if spec is None:
+                continue
+            share = shared.get(component, 1)
+            if share <= 0:
+                raise ValueError(f"share for {component} must be positive")
+            incidents = spec.incidents_per_cycle(self.cycle_hours)
+            total += incidents * self.incident_cost(component) / share
+        return total
+
+    def effective_availability(
+        self,
+        components: Iterable[ComponentType],
+        degraded: Optional[Mapping[ComponentType, float]] = None,
+    ) -> float:
+        """Serving-path availability with graceful-degradation credit.
+
+        Components appearing in ``degraded`` do not cause an outage when
+        down -- service continues at the given relative performance
+        (e.g. ``{MEMORY_BLADE: 0.7}``: blade-down time still delivers
+        70% of healthy throughput).  Everything else is in series: the
+        path is down whenever any of them is.
+        """
+        degraded = degraded or {}
+        availability = 1.0
+        for component in components:
+            spec = self.profile.spec(component)
+            if spec is None:
+                continue
+            if component in degraded:
+                credit = degraded[component]
+                if not 0.0 <= credit <= 1.0:
+                    raise ValueError(
+                        f"degraded performance for {component} must be in [0, 1]"
+                    )
+                availability *= (
+                    spec.availability + (1.0 - spec.availability) * credit
+                )
+            else:
+                availability *= spec.availability
+        return availability
+
+
+@dataclass(frozen=True)
+class AvailabilityAdjustedTco:
+    """A TCO breakdown with repair costs and an availability multiplier."""
+
+    breakdown: TcoBreakdown
+    repair_usd: float
+    availability: float
+
+    def __post_init__(self) -> None:
+        if self.repair_usd < 0:
+            raise ValueError("repair cost must be >= 0")
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+
+    @property
+    def total_usd(self) -> float:
+        """TCO including expected repair spending over the cycle."""
+        return self.breakdown.total_usd + self.repair_usd
+
+    @property
+    def downtime_fraction(self) -> float:
+        return 1.0 - self.availability
+
+    def downtime_hours_per_cycle(
+        self, cycle_hours: float = DEPRECIATION_CYCLE_HOURS
+    ) -> float:
+        return self.downtime_fraction * cycle_hours
+
+    def availability_weighted_perf_per_tco(self, performance: float) -> float:
+        """The paper's Perf/TCO-$ with availability priced in."""
+        if performance < 0:
+            raise ValueError("performance must be >= 0")
+        return performance * self.availability / self.total_usd
+
+
+def availability_weighted_perf_per_tco(
+    performance: float,
+    breakdown: TcoBreakdown,
+    repair_model: RepairCostModel,
+    components: Iterable[ComponentType],
+    shared: Optional[Mapping[ComponentType, int]] = None,
+    degraded: Optional[Mapping[ComponentType, float]] = None,
+) -> Tuple[float, AvailabilityAdjustedTco]:
+    """Convenience wrapper: adjusted TCO and the weighted metric at once."""
+    component_list = list(components)
+    adjusted = AvailabilityAdjustedTco(
+        breakdown=breakdown,
+        repair_usd=repair_model.repair_cost_usd(component_list, shared),
+        availability=repair_model.effective_availability(
+            component_list, degraded
+        ),
+    )
+    return adjusted.availability_weighted_perf_per_tco(performance), adjusted

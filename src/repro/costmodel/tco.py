@@ -131,3 +131,35 @@ class TcoModel:
     def power_cooling_usd(self, bill: ServerBill) -> float:
         """Per-server burdened power-and-cooling cost over the cycle."""
         return self.breakdown(bill).power_cooling_total_usd
+
+    def availability_adjusted(
+        self,
+        bill: ServerBill,
+        repair_model,
+        components,
+        shared=None,
+        degraded=None,
+    ):
+        """The breakdown plus repair costs and an availability multiplier.
+
+        ``repair_model`` is a
+        :class:`repro.costmodel.availability.RepairCostModel`;
+        ``components`` lists the :class:`repro.faults.ComponentType`
+        classes in this server's serving path, ``shared`` how many
+        servers split each shared one, and ``degraded`` the relative
+        performance retained when a gracefully-degrading component is
+        down.  Returns an
+        :class:`repro.costmodel.availability.AvailabilityAdjustedTco`.
+        """
+        # Imported here: repro.costmodel.availability depends on this
+        # module for TcoBreakdown.
+        from repro.costmodel.availability import AvailabilityAdjustedTco
+
+        component_list = list(components)
+        return AvailabilityAdjustedTco(
+            breakdown=self.breakdown(bill),
+            repair_usd=repair_model.repair_cost_usd(component_list, shared),
+            availability=repair_model.effective_availability(
+                component_list, degraded
+            ),
+        )

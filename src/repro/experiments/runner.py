@@ -16,6 +16,7 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     ablation,
+    availability,
     blade_contention,
     diurnal,
     figure1,
@@ -56,6 +57,7 @@ _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "contention": blade_contention.run,
     "latency": latency_load.run,
     "heterogeneous": heterogeneous.run,
+    "availability": availability.run,
 }
 
 #: Experiments that accept a ``method`` keyword (DES vs analytic).

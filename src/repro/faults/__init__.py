@@ -1,0 +1,49 @@
+"""Stochastic fault injection and failure-domain modelling.
+
+The paper's long-term design N2 wins by *sharing* ensemble resources --
+a remote memory blade, SAN'd laptop disks behind a flash cache,
+aggregated cooling -- but sharing concentrates failure domains.  This
+package supplies the fault model needed to check whether the
+srvr1 -> N1 -> N2 progression preserves its Perf/TCO-$ advantage once
+availability is priced in:
+
+- :mod:`~repro.faults.model` -- per-component-class MTBF/MTTR
+  characteristics (:class:`FaultSpec`, :class:`FaultProfile`) with
+  commodity-hardware defaults and acceleration for simulated windows.
+- :mod:`~repro.faults.injector` -- seeded, fully deterministic
+  fault-event injection into the discrete-event simulator, plus
+  :class:`FailureDomain` for correlated failures (one memory-blade or
+  enclosure fault degrading every attached server at once).
+
+Consumers: :class:`repro.cluster.balancer.ClusterSimulator` (health
+checks, retries, hedging, degraded modes),
+:mod:`repro.costmodel.availability` (repair/downtime pricing) and
+:mod:`repro.experiments.availability` (the srvr1/N1/N2 rerun under
+faults).
+"""
+
+from repro.faults.model import (
+    ComponentType,
+    DEFAULT_FAULT_PROFILE,
+    DEPRECIATION_CYCLE_HOURS,
+    FaultProfile,
+    FaultSpec,
+)
+from repro.faults.injector import (
+    FailureDomain,
+    FaultComponent,
+    FaultEvent,
+    FaultInjector,
+)
+
+__all__ = [
+    "ComponentType",
+    "DEFAULT_FAULT_PROFILE",
+    "DEPRECIATION_CYCLE_HOURS",
+    "FaultProfile",
+    "FaultSpec",
+    "FailureDomain",
+    "FaultComponent",
+    "FaultEvent",
+    "FaultInjector",
+]

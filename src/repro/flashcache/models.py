@@ -118,7 +118,13 @@ FLASH_OBJECT_PARAMS: Dict[str, FlashObjectParams] = {
 
 
 class FlashCachedDiskModel:
-    """A flash cache in front of a backing disk model."""
+    """A flash cache in front of a backing disk model.
+
+    The cache is a performance accelerator, not a correctness
+    dependency: :meth:`fail` drops it out of the data path (every I/O
+    takes the raw backing-disk path) and :meth:`recover` brings it back
+    -- cold, since a failed module returns with no useful contents.
+    """
 
     def __init__(
         self,
@@ -136,9 +142,28 @@ class FlashCachedDiskModel:
                 ) from exc
         self.backing = backing
         self.params = params
+        self._flash_device = flash_device
         self.cache = FlashCache(flash_device, params.object_bytes)
+        self.available = True
+        #: Lookups served on the raw-disk path because the cache was down.
+        self.bypassed_requests = 0
         objects = max(1, int(params.dataset_gb * (1 << 30) / params.object_bytes))
         self._popularity = ZipfSampler(objects, params.zipf_alpha)
+
+    def fail(self) -> None:
+        """Take the cache out of the data path (raw disk fallback)."""
+        self.available = False
+
+    def recover(self) -> None:
+        """Bring the cache back into service with cold (empty) contents.
+
+        Wear counters survive (it is the same physical module's
+        lifetime), but the object index restarts empty.
+        """
+        stats = self.cache.stats
+        self.cache = FlashCache(self._flash_device, self.params.object_bytes)
+        self.cache.stats.block_writes = stats.block_writes
+        self.available = True
 
     def expected_hit_rate(self) -> float:
         """Independent-reference hit-rate estimate (hot head fits in flash)."""
@@ -147,6 +172,13 @@ class FlashCachedDiskModel:
     def service_ms(self, demand: ResourceDemand, rng: random.Random) -> float:
         if demand.disk_bytes <= 0 and demand.disk_ios <= 0:
             return 0.0
+        if not self.available:
+            # Cache down: raw disk path.  The popularity sample is still
+            # drawn so the request stream (and RNG state) is identical
+            # with and without an operational cache.
+            self._popularity.sample(rng)
+            self.bypassed_requests += 1
+            return self.backing.service_ms(demand, rng)
         object_id = self._popularity.sample(rng)
         if demand.disk_write:
             # Write-through: disk pays full price; cached copy is updated.

@@ -33,6 +33,16 @@ from repro.workloads.base import ResourceDemand
 #: (page-table update, DMA setup; Ekman & Stenstrom-style handler).
 DEFAULT_TRAP_OVERHEAD_US = 0.5
 
+#: Per-miss penalty when the memory blade is DOWN and the server falls
+#: back to local-memory-only operation, microseconds.  Pages that would
+#: have been one 4 us PCIe transfer away must instead be paged in from
+#: the swap path (the SAN'd laptop disk).  The OS's swap read-ahead
+#: clusters faults into multi-page reads, amortizing the ~10 ms
+#: seek+SAN overhead across a 64-page cluster (~156 us/page) plus the
+#: 4 KB transfer itself -- call it 200 us per missing page, a 50x
+#: degradation over the healthy 4 us PCIe path.
+DEFAULT_DEGRADED_MISS_LATENCY_US = 200.0
+
 
 @dataclass(frozen=True)
 class RemoteMemoryModel:
@@ -45,6 +55,8 @@ class RemoteMemoryModel:
     #: Pre-computed miss rate; filled by :func:`make_remote_memory_model`.
     miss_rate: float = 0.0
     touches_per_ms: float = 0.0
+    #: Per-miss cost while the blade is down (local-memory-only mode).
+    degraded_miss_latency_us: float = DEFAULT_DEGRADED_MISS_LATENCY_US
 
     def __post_init__(self) -> None:
         if not 0 < self.local_fraction <= 1:
@@ -55,6 +67,8 @@ class RemoteMemoryModel:
             raise ValueError("miss rate must be in [0, 1]")
         if self.touches_per_ms < 0:
             raise ValueError("touch rate must be >= 0")
+        if self.degraded_miss_latency_us < 0:
+            raise ValueError("degraded miss latency must be >= 0")
 
     def misses_per_request(self, demand: ResourceDemand) -> float:
         """Expected remote-page misses for one request."""
@@ -67,6 +81,18 @@ class RemoteMemoryModel:
     def trap_cpu_ms(self, demand: ResourceDemand) -> float:
         """Extra CPU time for fault handling per request."""
         return self.misses_per_request(demand) * self.trap_overhead_us / 1000.0
+
+    def degraded_time_ms(self, demand: ResourceDemand) -> float:
+        """Capacity-miss penalty per request while the blade is DOWN.
+
+        Graceful degradation: the server keeps serving from its local
+        memory only, and every would-be remote hit becomes a page-in
+        from the swap path instead of a PCIe transfer.  Charged against
+        the server's disk, not the (unavailable) blade link.
+        """
+        return (
+            self.misses_per_request(demand) * self.degraded_miss_latency_us / 1000.0
+        )
 
 
 def make_remote_memory_model(

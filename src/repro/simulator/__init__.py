@@ -22,7 +22,12 @@ from repro.simulator.engine import Simulation
 from repro.simulator.resources import Resource
 from repro.simulator.server_sim import ServerSimulator, SimConfig, SimResult
 from repro.simulator.openloop import OpenLoopSimulator
-from repro.simulator.telemetry import LatencyHistogram, TimeSeries
+from repro.simulator.telemetry import (
+    AvailabilityTracker,
+    EntityAvailability,
+    LatencyHistogram,
+    TimeSeries,
+)
 from repro.simulator.sweep import QosSweep, SweepResult
 from repro.simulator.analytic import AnalyticServerModel, mva_throughput
 from repro.simulator.performance import (
@@ -38,6 +43,8 @@ __all__ = [
     "SimConfig",
     "SimResult",
     "OpenLoopSimulator",
+    "AvailabilityTracker",
+    "EntityAvailability",
     "LatencyHistogram",
     "TimeSeries",
     "QosSweep",

@@ -1,10 +1,11 @@
-"""Latency histograms and time-bucketed utilization series.
+"""Latency histograms, time-bucketed series, and availability tracking.
 
 Lightweight telemetry for inspecting simulation runs: a logarithmic
 latency histogram (constant relative resolution, like HdrHistogram's
-coarse mode) and a bucketed time series for utilization/throughput
-timelines.  Both are pure accumulators, usable inside or outside the
-simulators.
+coarse mode), a bucketed time series for utilization/throughput
+timelines, and an up/down interval tracker that turns fault-injection
+events into downtime and availability numbers.  All are pure
+accumulators, usable inside or outside the simulators.
 """
 
 from __future__ import annotations
@@ -135,3 +136,92 @@ class TimeSeries:
         """(bucket start ms, value per second within the bucket)."""
         scale = 1000.0 / self.bucket_ms
         return [(t, v * scale) for t, v in self.series()]
+
+
+@dataclass
+class EntityAvailability:
+    """Summarized up/down history of one tracked entity."""
+
+    name: str
+    downtime_ms: float
+    incidents: int
+    observed_ms: float
+
+    @property
+    def availability(self) -> float:
+        """Fraction of observed time spent up (1.0 if never observed)."""
+        if self.observed_ms <= 0:
+            return 1.0
+        return 1.0 - min(self.downtime_ms / self.observed_ms, 1.0)
+
+
+class AvailabilityTracker:
+    """Accumulates up/down transitions into downtime and availability.
+
+    Entities (servers, blades, caches...) report state changes through
+    :meth:`observe`; unterminated intervals are closed by
+    :meth:`finalize` at the end of the observation window.  Repeated
+    observations of the same state are idempotent, so callers can report
+    every health evaluation rather than only edges.
+    """
+
+    def __init__(self) -> None:
+        #: entity -> (currently up, time of last transition)
+        self._state: Dict[str, Tuple[bool, float]] = {}
+        self._start: Dict[str, float] = {}
+        self._downtime: Dict[str, float] = {}
+        self._incidents: Dict[str, int] = {}
+        self._end: Dict[str, float] = {}
+
+    def observe(self, name: str, time_ms: float, up: bool) -> None:
+        """Record that ``name`` is up/down as of ``time_ms``."""
+        if time_ms < 0:
+            raise ValueError("time must be >= 0")
+        if name not in self._state:
+            self._state[name] = (up, time_ms)
+            self._start[name] = time_ms
+            self._downtime[name] = 0.0
+            self._incidents[name] = 0 if up else 1
+            return
+        was_up, since = self._state[name]
+        if time_ms < since:
+            raise ValueError("observations must be time-ordered per entity")
+        if up == was_up:
+            return
+        if not was_up:
+            self._downtime[name] += time_ms - since
+        else:
+            self._incidents[name] += 1
+        self._state[name] = (up, time_ms)
+
+    def finalize(self, end_ms: float) -> None:
+        """Close every open interval at ``end_ms``."""
+        for name, (up, since) in list(self._state.items()):
+            if end_ms < since:
+                raise ValueError("end time precedes a recorded transition")
+            if not up:
+                self._downtime[name] += end_ms - since
+                self._state[name] = (up, end_ms)
+            self._end[name] = end_ms
+
+    def entity(self, name: str) -> EntityAvailability:
+        """Summary for one entity (KeyError if never observed)."""
+        end = self._end.get(name, self._state[name][1])
+        return EntityAvailability(
+            name=name,
+            downtime_ms=self._downtime[name],
+            incidents=self._incidents[name],
+            observed_ms=max(end - self._start[name], 0.0),
+        )
+
+    def entities(self) -> List[EntityAvailability]:
+        return [self.entity(name) for name in self._state]
+
+    def mean_availability(self, prefix: str = "") -> float:
+        """Mean availability across entities whose name has ``prefix``."""
+        summaries = [
+            self.entity(name) for name in self._state if name.startswith(prefix)
+        ]
+        if not summaries:
+            return 1.0
+        return sum(s.availability for s in summaries) / len(summaries)

@@ -1,0 +1,64 @@
+"""Tests of the availability-under-faults experiment (EXT-8)."""
+
+import pytest
+
+from repro.experiments import availability
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Shrunk cluster/window so the whole srvr1/N1/N2 sweep stays fast.
+    return availability.run(
+        servers=3, clients_per_server=5, warmup=100, measure=700
+    )
+
+
+class TestAvailabilityExperiment:
+    def test_reports_every_design(self, result):
+        for name in ("srvr1", "N1", "N2"):
+            assert name in result.data
+            assert result.data[name]["healthy_rps"] > 0
+            assert result.data[name]["faulted_rps"] > 0
+
+    def test_sections_render(self, result):
+        assert any("Perf/TCO-$" in name for name in result.sections)
+        assert any("degraded operation" in name for name in result.sections)
+        assert "conclusion" in result.sections
+        assert "N2" in result.render()
+
+    def test_baseline_is_the_reference(self, result):
+        assert result.data["srvr1"]["relative_weighted_perf_per_tco"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_repair_and_availability_are_priced(self, result):
+        for name in ("srvr1", "N1", "N2"):
+            row = result.data[name]
+            assert row["repair_usd"] > 0
+            assert row["adjusted_tco_usd"] == pytest.approx(
+                row["tco_usd"] + row["repair_usd"]
+            )
+            assert 0.99 < row["analytic_availability"] < 1.0
+        # N2's serving path crosses more parts than srvr1's.
+        assert (
+            result.data["N2"]["analytic_availability"]
+            < result.data["srvr1"]["analytic_availability"]
+        )
+
+    def test_faults_actually_fired(self, result):
+        for name in ("srvr1", "N1", "N2"):
+            assert sum(result.data[name]["injected_failures"].values()) > 0
+            assert result.data[name]["measured_availability"] < 1.0
+
+    def test_n2_blade_correlation_is_visible_but_bounded(self, result):
+        n2 = result.data["N2"]
+        assert n2["blade_downtime_ms"] > 0
+        assert n2["degraded_requests"] > 0
+        assert n2["faulted_p95_ms"] > n2["healthy_p95_ms"]
+        # Retries/hedging keep QoS casualties bounded, not eliminated.
+        assert n2["qos_violation_rate"] < 0.25
+        assert n2["throughput_retention"] > 0.75
+
+    def test_documented_profile_and_policy(self, result):
+        assert result.data["fault_profile"] == "stress-60s-window"
+        assert result.data["retry_policy"]["timeout_ms"] == 500.0

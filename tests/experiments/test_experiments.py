@@ -84,6 +84,7 @@ class TestRunner:
             "table1", "figure1", "table2", "figure2", "figure3",
             "figure4", "table3", "figure5", "sensitivity",
             "ablation", "scaleout", "diurnal", "validation", "future", "power", "contention", "latency", "heterogeneous",
+            "availability",
         }
 
     def test_run_experiment_by_name(self):

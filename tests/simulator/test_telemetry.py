@@ -6,7 +6,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.simulator.telemetry import LatencyHistogram, TimeSeries
+from repro.simulator.telemetry import (
+    AvailabilityTracker,
+    LatencyHistogram,
+    TimeSeries,
+)
 
 
 class TestLatencyHistogram:
@@ -97,3 +101,66 @@ class TestTimeSeries:
             TimeSeries(bucket_ms=0.0)
         with pytest.raises(ValueError):
             TimeSeries(bucket_ms=10.0).record(-1.0)
+
+
+class TestAvailabilityTracker:
+    def test_downtime_and_availability(self):
+        tracker = AvailabilityTracker()
+        tracker.observe("s0", 0.0, up=True)
+        tracker.observe("s0", 600.0, up=False)
+        tracker.observe("s0", 800.0, up=True)
+        tracker.finalize(1000.0)
+        entity = tracker.entity("s0")
+        assert entity.downtime_ms == pytest.approx(200.0)
+        assert entity.observed_ms == pytest.approx(1000.0)
+        assert entity.availability == pytest.approx(0.8)
+        assert entity.incidents == 1
+
+    def test_repeated_observations_are_idempotent(self):
+        tracker = AvailabilityTracker()
+        tracker.observe("s0", 0.0, up=True)
+        tracker.observe("s0", 100.0, up=True)
+        tracker.observe("s0", 200.0, up=False)
+        tracker.observe("s0", 300.0, up=False)
+        tracker.observe("s0", 400.0, up=True)
+        tracker.finalize(500.0)
+        entity = tracker.entity("s0")
+        assert entity.incidents == 1
+        assert entity.downtime_ms == pytest.approx(200.0)
+
+    def test_finalize_closes_open_downtime(self):
+        tracker = AvailabilityTracker()
+        tracker.observe("s0", 0.0, up=True)
+        tracker.observe("s0", 900.0, up=False)
+        tracker.finalize(1000.0)
+        assert tracker.entity("s0").downtime_ms == pytest.approx(100.0)
+
+    def test_never_down_entity_is_fully_available(self):
+        tracker = AvailabilityTracker()
+        tracker.observe("s0", 0.0, up=True)
+        tracker.finalize(1000.0)
+        entity = tracker.entity("s0")
+        assert entity.availability == 1.0
+        assert entity.incidents == 0
+
+    def test_mean_availability_with_prefix(self):
+        tracker = AvailabilityTracker()
+        tracker.observe("rotation/s0", 0.0, up=True)
+        tracker.observe("rotation/s1", 0.0, up=True)
+        tracker.observe("rotation/s1", 500.0, up=False)
+        tracker.observe("hw/blade", 0.0, up=False)
+        tracker.finalize(1000.0)
+        assert tracker.mean_availability("rotation/") == pytest.approx(0.75)
+        assert tracker.mean_availability("nothing/") == 1.0
+
+    def test_validation(self):
+        tracker = AvailabilityTracker()
+        with pytest.raises(ValueError):
+            tracker.observe("s0", -1.0, up=True)
+        tracker.observe("s0", 100.0, up=True)
+        with pytest.raises(ValueError, match="time-ordered"):
+            tracker.observe("s0", 50.0, up=False)
+        with pytest.raises(ValueError, match="end time"):
+            tracker.finalize(50.0)
+        with pytest.raises(KeyError):
+            tracker.entity("unknown")

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.flashcache",
     "repro.cooling",
     "repro.cluster",
+    "repro.faults",
     "repro.validation",
     "repro.experiments",
 ]
