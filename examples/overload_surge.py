@@ -1,0 +1,93 @@
+"""Metastable overload: a traffic surge with and without protection.
+
+A cluster provisioned near the paper's utilization target is hit by a
+5x traffic surge.  With the repository's plain timeout-and-retry stack
+over unbounded queues, the surge is *metastable*: queues outgrow the
+client timeout, servers burn capacity on requests whose clients already
+gave up, and synchronized retries hold the cluster at saturation long
+after the offered load returns to normal.  With the
+``repro.cluster.overload`` protection stack (bounded queues, deadline
+shedding, admission control, retry budgets, circuit breakers, brownout,
+jittered backoff), goodput dips during the surge and snaps back within
+seconds of it ending.
+
+Run:  python examples/overload_surge.py
+"""
+
+from repro.cluster import ClusterSimulator, OverloadPolicy, RetryPolicy, SurgeSchedule
+from repro.platforms import platform
+from repro.simulator import measure_performance
+from repro.workloads import make_workload
+
+SYSTEM = "desk"
+BENCH = "websearch"
+SERVERS = 2
+WARMUP_MS = 1000.0
+SURGE_START_MS = 4000.0
+SURGE_END_MS = 8000.0
+MEASURE_MS = 15_000.0
+
+
+def timeline(series, end_ms: float, peak_rps: float, width: int = 24) -> str:
+    """Render a per-second goodput bar chart from a TimeSeries."""
+    lines = []
+    for second in range(int(end_ms // 1000)):
+        rate = series.window_mean_rate_per_s(second * 1000.0, (second + 1) * 1000.0)
+        bar = "#" * int(round(width * min(rate / peak_rps, 1.0) if peak_rps else 0))
+        in_surge = SURGE_START_MS <= second * 1000.0 < SURGE_END_MS
+        tag = " <- surge" if in_surge else ""
+        lines.append(f"    {second:>3}s |{bar:<{width}}| {rate:>6.0f} r/s{tag}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    plat = platform(SYSTEM)
+    workload = make_workload(BENCH)
+    capacity = measure_performance(plat, workload, method="analytic").throughput_rps
+    base_rate = 0.6 * capacity * SERVERS
+    schedule = SurgeSchedule(
+        base_rate_rps=base_rate,
+        surge_multiplier=5.0,
+        surge_start_ms=SURGE_START_MS,
+        surge_end_ms=SURGE_END_MS,
+    )
+    print(f"{SERVERS}x {SYSTEM} on {BENCH}: capacity {capacity:.0f} r/s per "
+          f"server, offered {base_rate:.0f} r/s with a 5x surge in "
+          f"[{SURGE_START_MS / 1000:.0f}s, {SURGE_END_MS / 1000:.0f}s)\n")
+
+    queue_cap = max(4, int(capacity * RetryPolicy().timeout_ms / 1000.0 * 0.5))
+    stacks = {
+        "naive (unbounded queues, plain retries)": (
+            RetryPolicy(), OverloadPolicy.unprotected(),
+        ),
+        "protected (bounded queues + admission + budgets + breakers)": (
+            RetryPolicy(jitter=True), OverloadPolicy(queue_cap=queue_cap),
+        ),
+    }
+    end_ms = WARMUP_MS + MEASURE_MS
+    for label, (retry, policy) in stacks.items():
+        result = ClusterSimulator(
+            plat, workload, servers=SERVERS, clients_per_server=1,
+            retry=retry, overload=policy, arrivals=schedule,
+            warmup_ms=WARMUP_MS, measure_ms=MEASURE_MS, seed=3,
+        ).run()
+        report = result.overload_report
+        pre = report.goodput.window_mean_rate_per_s(WARMUP_MS, SURGE_START_MS)
+        post = report.goodput.window_mean_rate_per_s(SURGE_END_MS + 2000.0, end_ms)
+        print(f"{label}:")
+        print(timeline(report.goodput, end_ms, peak_rps=base_rate))
+        print(f"    goodput {result.goodput_rps:.0f} r/s of "
+              f"{result.offered_rps:.0f} offered, p99 {result.p99_ms:.0f} ms; "
+              f"pre-surge {pre:.0f} -> post-surge {post:.0f} r/s")
+        print(f"    shed {report.total_shed}, queue rejects "
+              f"{report.rejected_queue_full}, retries denied "
+              f"{report.retries_denied}, breaker opens {report.breaker_opens}, "
+              f"brownout {report.brownout_requests}\n")
+
+    print("The naive stack never recovers after the surge (metastable "
+          "collapse); the protected stack sheds during the surge and "
+          "returns to the pre-surge baseline within seconds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,9 @@ open issues in section 4 that this package addresses:
 - :mod:`~repro.cluster.diurnal` -- time-of-day request distributions
   (the paper studies only sustained load) and the ensemble-level
   provisioning/energy questions they raise.
+- :mod:`~repro.cluster.overload` -- overload protection (admission
+  control, retry budgets, circuit breakers, brownout) and the surge
+  schedules that exercise it in open-loop mode.
 """
 
 from repro.cluster.scaleout import ScaleOutModel, amdahl_speedup
@@ -26,6 +29,21 @@ from repro.cluster.balancer import (
 )
 from repro.cluster.diurnal import DiurnalLoadModel, EnsembleEnergyModel
 from repro.cluster.heterogeneous import FleetOptimizer, FleetPlan, ServiceAssignment
+from repro.cluster.overload import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionVerdict,
+    BreakerPolicy,
+    BreakerState,
+    BrownoutPolicy,
+    CircuitBreaker,
+    OverloadPolicy,
+    OverloadReport,
+    RetryBudget,
+    RetryBudgetPolicy,
+    SurgeSchedule,
+    TokenBucket,
+)
 
 __all__ = [
     "ScaleOutModel",
@@ -40,4 +58,17 @@ __all__ = [
     "FleetOptimizer",
     "FleetPlan",
     "ServiceAssignment",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionVerdict",
+    "BreakerPolicy",
+    "BreakerState",
+    "BrownoutPolicy",
+    "CircuitBreaker",
+    "OverloadPolicy",
+    "OverloadReport",
+    "RetryBudget",
+    "RetryBudgetPolicy",
+    "SurgeSchedule",
+    "TokenBucket",
 ]

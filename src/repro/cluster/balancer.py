@@ -15,7 +15,8 @@ The balancer also carries the repository's graceful-degradation stack
   the dispatcher backs off and re-probes instead of crashing;
 - *timeouts and bounded retry*: with a :class:`RetryPolicy`, a request
   that does not complete within the timeout is re-dispatched with
-  exponential backoff, up to ``max_retries`` extra attempts;
+  exponential backoff (optionally full-jitter), up to ``max_retries``
+  extra attempts;
 - *hedged dispatch*: optionally, a duplicate attempt is sent to a second
   server when the first is slow, and the first completion wins;
 - *degraded modes*: a down memory blade switches every attached server
@@ -25,6 +26,26 @@ The balancer also carries the repository's graceful-degradation stack
 Faults come either from a scripted ``failures``/``recoveries`` schedule
 or from stochastic per-component MTBF/MTTR processes
 (:class:`repro.faults.FaultInjector`), both fully deterministic per seed.
+
+On top of that sits the *overload-protection* stack
+(:mod:`repro.cluster.overload`), enabled by passing an
+:class:`~repro.cluster.overload.OverloadPolicy`:
+
+- bounded per-server queues with reject-on-full dispatch;
+- deadline-based shedding: an attempt whose timeout has expired (or
+  provably cannot be met) is dropped the moment CPU service would
+  start, instead of being served uselessly;
+- admission control at the dispatcher (token-bucket rate limit plus
+  adaptive shedding on observed queueing delay);
+- a shared retry-token budget that caps retry amplification, and
+  per-server circuit breakers that stop dispatch to a failing server;
+- brownout mode: overloaded servers serve a reduced-demand variant.
+
+The simulator runs *closed-loop* (a fixed client population with think
+time, the paper's client-driver protocol) by default, or *open-loop*
+(Poisson arrivals following a :class:`~repro.cluster.overload.SurgeSchedule`,
+measured over a fixed time window) -- the regime where overload and
+metastable retry storms actually occur.
 """
 
 from __future__ import annotations
@@ -35,6 +56,16 @@ from dataclasses import dataclass, field
 from numbers import Real
 from typing import Dict, List, Optional
 
+from repro.cluster.overload import (
+    AdmissionController,
+    AdmissionVerdict,
+    BreakerState,
+    CircuitBreaker,
+    OverloadPolicy,
+    OverloadReport,
+    RetryBudget,
+    SurgeSchedule,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.model import ComponentType, FaultProfile
 from repro.memsim.remote_memory import RemoteMemoryModel
@@ -42,7 +73,7 @@ from repro.platforms.platform import Platform
 from repro.simulator.engine import Simulation
 from repro.simulator.resources import Resource
 from repro.simulator.server_sim import DiskModel, PlatformDiskModel
-from repro.simulator.telemetry import AvailabilityTracker
+from repro.simulator.telemetry import AvailabilityTracker, TimeSeries
 from repro.workloads.base import Workload
 from repro.workloads.qos import QosTracker
 
@@ -81,6 +112,11 @@ class RetryPolicy:
     #: If set, send a duplicate attempt to another server once a request
     #: has been outstanding this long (first completion wins).
     hedge_after_ms: Optional[float] = None
+    #: Full-jitter backoff: each delay is drawn uniformly from
+    #: ``[0, deterministic backoff]`` using the simulation's seeded RNG,
+    #: decorrelating the retry waves that synchronized timeouts would
+    #: otherwise re-dispatch in lockstep.  Deterministic per seed.
+    jitter: bool = False
 
     def __post_init__(self) -> None:
         if self.timeout_ms <= 0:
@@ -92,14 +128,24 @@ class RetryPolicy:
         if self.hedge_after_ms is not None and self.hedge_after_ms <= 0:
             raise ValueError("hedge delay must be positive")
 
-    def backoff_ms(self, attempt: int) -> float:
-        """Delay before re-dispatching attempt number ``attempt + 1``."""
-        return self.backoff_base_ms * self.backoff_factor ** max(attempt, 0)
+    def backoff_ms(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """Delay before re-dispatching attempt number ``attempt + 1``.
+
+        Without ``jitter`` (or without an ``rng``) the delay is the
+        deterministic exponential ``base * factor**attempt``; with both,
+        it is drawn uniformly from ``[0, that value]`` (full jitter).
+        """
+        ceiling = self.backoff_base_ms * self.backoff_factor ** max(attempt, 0)
+        if self.jitter and rng is not None:
+            return rng.uniform(0.0, ceiling)
+        return ceiling
 
 
 @dataclass
 class FaultReport:
-    """Fault-handling counters for one cluster run."""
+    """Fault- and retry-handling counters for one cluster run."""
 
     #: Injected hardware failures by component class value.
     injected_failures: Dict[str, int] = field(default_factory=dict)
@@ -138,8 +184,18 @@ class ClusterResult:
     qos_violation_rate: float = 0.0
     #: Mean fraction of the run each server spent in rotation.
     availability: float = 1.0
-    #: Fault-handling counters (None when the run injected no faults).
+    #: Fault-handling counters (None when the run injected no faults and
+    #: used no retry/overload machinery).
     fault_report: Optional[FaultReport] = None
+    #: New (first-attempt) requests offered per second in the window.
+    offered_rps: float = 0.0
+    #: Successfully served completions meeting the QoS limit, per second.
+    goodput_rps: float = 0.0
+    #: 99th-percentile response time of measured requests.
+    p99_ms: float = 0.0
+    #: Overload-protection counters and timelines (None for legacy
+    #: closed-loop runs without an :class:`OverloadPolicy`).
+    overload_report: Optional[OverloadReport] = None
 
     @property
     def imbalance(self) -> float:
@@ -153,7 +209,11 @@ class ClusterResult:
 class _Server:
     """One server's resources inside the cluster simulation."""
 
-    def __init__(self, sim: Simulation, platform: Platform, disk_model: DiskModel):
+    def __init__(
+        self, sim: Simulation, platform: Platform, disk_model: DiskModel,
+        index: int,
+    ):
+        self.index = index
         self.cpu = Resource(sim, "cpu", platform.cpu.total_cores)
         self.mem = Resource(sim, "mem", platform.memory.channels)
         self.disk = Resource(sim, "disk", 1)
@@ -188,7 +248,12 @@ def _scripted_time(label: str, index: int, at_ms: object) -> float:
 
 
 class ClusterSimulator:
-    """N identical servers behind a load balancer, closed client pool."""
+    """N identical servers behind a load balancer.
+
+    Closed-loop (client pool with think time) by default; open-loop
+    (Poisson arrivals on a :class:`SurgeSchedule`) when ``arrivals`` is
+    given.
+    """
 
     def __init__(
         self,
@@ -208,6 +273,10 @@ class ClusterSimulator:
         fault_seed: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         enclosure_size: int = DEFAULT_ENCLOSURE_SIZE,
+        overload: Optional[OverloadPolicy] = None,
+        arrivals: Optional[SurgeSchedule] = None,
+        warmup_ms: float = 2000.0,
+        measure_ms: float = 20_000.0,
     ):
         """``remote_memory`` attaches a shared memory blade: every request
         pays its expected remote-miss traffic on one blade-controller link
@@ -236,11 +305,27 @@ class ClusterSimulator:
         going down *loses* its in-flight requests -- clients recover via
         timeout -- whereas without it the legacy behaviour is kept:
         in-flight requests complete, only new dispatches avoid the dead
-        server."""
+        server.
+
+        ``overload`` layers the protection stack of
+        :mod:`repro.cluster.overload` over dispatch: bounded per-server
+        queues, deadline shedding, admission control, a shared retry
+        budget, per-server circuit breakers, and brownout mode.
+
+        ``arrivals`` switches the simulator to open-loop mode: requests
+        arrive in a Poisson stream whose rate follows the schedule
+        (``clients_per_server`` is ignored), and measurement covers the
+        fixed window ``[warmup_ms, warmup_ms + measure_ms)`` of simulated
+        time.  Only requests *issued inside the window* are measured, so
+        by construction goodput <= throughput <= offered load.  Shed or
+        rejected requests are errors: they count toward offered load but
+        never enter the latency distribution."""
         if servers <= 0 or clients_per_server <= 0:
             raise ValueError("servers and clients_per_server must be positive")
         if enclosure_size <= 0:
             raise ValueError("enclosure size must be positive")
+        if arrivals is not None and (warmup_ms < 0 or measure_ms <= 0):
+            raise ValueError("open-loop windows must be positive")
         if failures:
             failures = {
                 i: _scripted_time("failure", i, t) for i, t in failures.items()
@@ -293,6 +378,14 @@ class ClusterSimulator:
             RetryPolicy() if faults is not None else None
         )
         self._enclosure_size = enclosure_size
+        # Open-loop runs always carry overload telemetry, even with every
+        # protection layer off (the naive baseline needs the timelines).
+        self._overload = overload if overload is not None else (
+            OverloadPolicy.unprotected() if arrivals is not None else None
+        )
+        self._arrivals = arrivals
+        self._warmup_ms = warmup_ms
+        self._measure_ms = measure_ms
 
     def _pick(
         self, servers: List[_Server], rr_state: Dict[str, int],
@@ -318,9 +411,11 @@ class ClusterSimulator:
         platform = self._platform
         profile = self._workload.profile
         retry = self._retry
+        policy = self._overload
+        open_loop = self._arrivals is not None
         servers = [
-            _Server(sim, platform, self._disk_model_factory())
-            for _ in range(self._servers)
+            _Server(sim, platform, self._disk_model_factory(), index)
+            for index in range(self._servers)
         ]
         rr_state = {"next": 0}
         blade = (
@@ -330,6 +425,38 @@ class ClusterSimulator:
         report = FaultReport()
         track_faults = self._faults is not None or bool(self._failures)
         tracker = AvailabilityTracker() if track_faults else None
+
+        # --- overload-protection runtime -------------------------------
+        overload_report: Optional[OverloadReport] = None
+        admission: Optional[AdmissionController] = None
+        retry_budget: Optional[RetryBudget] = None
+        breakers: Optional[List[CircuitBreaker]] = None
+        if policy is not None:
+            bucket = policy.telemetry_bucket_ms
+            overload_report = OverloadReport(
+                completed=TimeSeries(bucket_ms=bucket),
+                goodput=TimeSeries(bucket_ms=bucket),
+                offered=TimeSeries(bucket_ms=bucket),
+                breaker_open_series=TimeSeries(bucket_ms=bucket),
+            )
+            if policy.admission is not None:
+                slo_ms = (
+                    profile.qos.limit_ms if profile.qos is not None
+                    else (retry.timeout_ms if retry is not None else 1000.0)
+                )
+                admission = AdmissionController(policy.admission, slo_ms, rng)
+            if policy.retry_budget is not None:
+                retry_budget = RetryBudget(policy.retry_budget)
+            if policy.breaker is not None:
+                def _on_open(now_ms: float, state_: BreakerState) -> None:
+                    if state_ is BreakerState.OPEN:
+                        overload_report.breaker_opens += 1
+                        overload_report.breaker_open_series.record(now_ms)
+
+                breakers = [
+                    CircuitBreaker(policy.breaker, on_transition=_on_open)
+                    for _ in servers
+                ]
 
         def _rotation_observe(index: int, up: bool) -> None:
             if tracker is not None:
@@ -372,7 +499,17 @@ class ClusterSimulator:
 
         qos = QosTracker(profile.qos) if profile.qos else None
         responses: List[float] = []
-        state = {"completions": 0, "t0": 0.0, "t1": 0.0, "done": False}
+        state = {
+            "completions": 0, "t0": 0.0, "t1": 0.0, "done": False,
+            "offered": 0, "good": 0, "measuring": False,
+        }
+        if open_loop:
+            state["t0"] = self._warmup_ms
+            state["t1"] = self._warmup_ms + self._measure_ms
+            state["measuring"] = self._warmup_ms == 0.0
+
+        def _measurement_active() -> bool:
+            return state["measuring"] and not state["done"]
 
         def client_loop() -> None:
             if state["done"]:
@@ -395,7 +532,34 @@ class ClusterSimulator:
                 "finished": False,
                 "hedged": False,
             }
+            if overload_report is not None:
+                overload_report.offered.record(sim.now)
+            if _measurement_active():
+                state["offered"] += 1
+            if retry_budget is not None:
+                retry_budget.note_request()
+            if admission is not None:
+                verdict = admission.admit(sim.now)
+                if verdict is not AdmissionVerdict.ADMIT:
+                    if verdict is AdmissionVerdict.RATE_LIMITED:
+                        overload_report.rate_limited += 1
+                    else:
+                        overload_report.shed_admission += 1
+                    abandon()
+                    return
             dispatch_request(rs)
+
+        def _allowed(server: _Server) -> bool:
+            """Breaker and queue-cap gate for one candidate server."""
+            if breakers is not None and not breakers[server.index].allow(sim.now):
+                return False
+            if (
+                policy is not None
+                and policy.queue_cap is not None
+                and server.outstanding >= policy.queue_cap
+            ):
+                return False
+            return True
 
         def dispatch_request(rs: dict) -> None:
             if state["done"] or rs["finished"]:
@@ -407,18 +571,85 @@ class ClusterSimulator:
                 report.all_down_waits += 1
                 sim.schedule(HEALTH_RECHECK_MS, lambda: dispatch_request(rs))
                 return
+            candidates = alive
+            if breakers is not None:
+                candidates = [
+                    s for s in candidates if breakers[s.index].allow(sim.now)
+                ]
+                if not candidates:
+                    overload_report.breaker_rejections += 1
+                    fast_fail(rs)
+                    return
+            if policy is not None and policy.queue_cap is not None:
+                candidates = [
+                    s for s in candidates if s.outstanding < policy.queue_cap
+                ]
+                if not candidates:
+                    overload_report.rejected_queue_full += 1
+                    fast_fail(rs)
+                    return
             rs["attempts"] += 1
-            start_attempt(rs, self._pick(alive, rr_state, rng))
+            start_attempt(rs, self._pick(candidates, rr_state, rng))
+
+        def retry_or_give_up(rs: dict) -> None:
+            """After a failed attempt: bounded, budgeted retry or give up."""
+            if state["done"] or rs["finished"]:
+                return
+            if retry is not None and rs["attempts"] <= retry.max_retries:
+                if retry_budget is None or retry_budget.try_spend():
+                    report.retries += 1
+                    backoff = retry.backoff_ms(rs["attempts"] - 1, rng)
+                    sim.schedule(backoff, lambda: dispatch_request(rs))
+                    return
+                overload_report.retries_denied += 1
+            # Retry budget exhausted (or denied): give up and report the
+            # request at its full elapsed time (a QoS casualty, not a
+            # silent drop).
+            rs["finished"] = True
+            report.gave_up += 1
+            complete(rs["start"], served=False)
+
+        def fast_fail(rs: dict) -> None:
+            """A dispatch was refused outright (queue full / breakers open).
+
+            Counts as an attempt; the client retries after backoff or
+            sees an immediate error (which never enters the latency
+            distribution -- it is shed load, not a slow response)."""
+            rs["attempts"] += 1
+            if retry is not None and rs["attempts"] <= retry.max_retries:
+                if retry_budget is None or retry_budget.try_spend():
+                    report.retries += 1
+                    backoff = retry.backoff_ms(rs["attempts"] - 1, rng)
+                    sim.schedule(backoff, lambda: dispatch_request(rs))
+                    return
+                overload_report.retries_denied += 1
+            rs["finished"] = True
+            abandon()
 
         def start_attempt(rs: dict, server: _Server, hedge: bool = False) -> None:
             demand = rs["demand"]
+            brownout = (
+                policy is not None
+                and policy.brownout is not None
+                and server.outstanding >= policy.brownout.enter_outstanding
+            )
+            if brownout:
+                demand = demand.scaled(policy.brownout.demand_factor)
+                overload_report.brownout_requests += 1
+            probe = (
+                breakers[server.index].note_dispatch(sim.now)
+                if breakers is not None
+                else False
+            )
             attempt = {
                 "server": server,
                 "epoch": server.epoch,
                 "void": False,
                 "done": False,
+                "probe": probe,
             }
             server.outstanding += 1
+            dispatched_at = sim.now
 
             cpu_ms = platform.cpu_time_ms(
                 demand.cpu_ms_ref,
@@ -450,6 +681,14 @@ class ClusterSimulator:
             def lost() -> bool:
                 return attempt["epoch"] != server.epoch
 
+            def record_outcome(ok: bool) -> None:
+                if breakers is not None:
+                    breaker = breakers[server.index]
+                    if ok:
+                        breaker.record_success(sim.now, attempt["probe"])
+                    else:
+                        breaker.record_failure(sim.now, attempt["probe"])
+
             def done() -> None:
                 if lost():
                     return
@@ -457,12 +696,13 @@ class ClusterSimulator:
                 attempt["done"] = True
                 if attempt["void"]:
                     return
+                record_outcome(ok=True)
                 if rs["finished"]:
                     report.wasted_completions += 1
                     return
                 rs["finished"] = True
                 server.completions += 1
-                _complete(rs["start"])
+                complete(rs["start"], served=True)
 
             def after_disk() -> None:
                 if lost():
@@ -487,9 +727,45 @@ class ClusterSimulator:
                     return
                 server.mem.acquire(mem_ms, after_mem)
 
+            service_floor_ms = cpu_ms + mem_ms + blade_ms + disk_ms + net_ms
+
+            def cpu_gate() -> bool:
+                """Called when a CPU core would start serving this attempt.
+
+                Feeds the observed queueing delay to admission control
+                and, with deadline shedding, drops stale work: an attempt
+                whose timeout already fired while it queued, or whose
+                remaining budget cannot cover even the raw service time,
+                is cancelled instead of served uselessly."""
+                if lost():
+                    return False
+                if admission is not None:
+                    admission.observe_delay(sim.now - dispatched_at)
+                if policy is None or not policy.deadline_shedding:
+                    return True
+                if attempt["void"]:
+                    # Timed out while queued; the timeout handler already
+                    # arranged the retry -- just shed the stale work.
+                    overload_report.shed_deadline += 1
+                    server.outstanding -= 1
+                    return False
+                if retry is not None and (
+                    sim.now - dispatched_at + service_floor_ms > retry.timeout_ms
+                ):
+                    # Provably cannot meet the deadline: fail fast now
+                    # rather than waiting for the timeout to notice.
+                    attempt["void"] = True
+                    overload_report.shed_deadline += 1
+                    server.outstanding -= 1
+                    record_outcome(ok=False)
+                    retry_or_give_up(rs)
+                    return False
+                return True
+
+            gate = cpu_gate if policy is not None else None
             slices = max(1, min(platform.cpu.total_cores, demand.cpu_parallelism))
             if slices == 1:
-                server.cpu.acquire(cpu_ms, after_cpu)
+                server.cpu.acquire(cpu_ms, after_cpu, on_start=gate)
             else:
                 join = {"left": slices}
 
@@ -498,8 +774,26 @@ class ClusterSimulator:
                     if join["left"] == 0:
                         after_cpu()
 
+                # The gate decides once, on the first slice to reach a
+                # core; cancelling it abandons the whole attempt (the
+                # other slices see the void flag).
+                decision = {"made": False, "serve": True}
+
+                def slice_gate() -> bool:
+                    if not decision["made"]:
+                        decision["made"] = True
+                        decision["serve"] = gate() if gate is not None else True
+                        if not decision["serve"]:
+                            join["left"] = -1
+                    elif join["left"] < 0:
+                        return False
+                    return decision["serve"]
+
                 for _ in range(slices):
-                    server.cpu.acquire(cpu_ms / slices, slice_done)
+                    server.cpu.acquire(
+                        cpu_ms / slices, slice_done,
+                        on_start=slice_gate if gate is not None else None,
+                    )
 
             if retry is None:
                 return
@@ -512,17 +806,8 @@ class ClusterSimulator:
                     return
                 attempt["void"] = True
                 report.timeouts += 1
-                if rs["attempts"] <= retry.max_retries:
-                    report.retries += 1
-                    backoff = retry.backoff_ms(rs["attempts"] - 1)
-                    sim.schedule(backoff, lambda: dispatch_request(rs))
-                else:
-                    # Retry budget exhausted: give up and report the
-                    # request at its full elapsed time (a QoS casualty,
-                    # not a silent drop).
-                    rs["finished"] = True
-                    report.gave_up += 1
-                    _complete(rs["start"])
+                record_outcome(ok=False)
+                retry_or_give_up(rs)
 
             sim.schedule(retry.timeout_ms, on_timeout)
 
@@ -536,7 +821,9 @@ class ClusterSimulator:
                 ):
                     return
                 alive = self._alive(servers)
-                others = [s for s in alive if s is not server] or alive
+                others = [
+                    s for s in alive if s is not server and _allowed(s)
+                ] or [s for s in alive if _allowed(s)]
                 if not others:
                     return
                 rs["hedged"] = True
@@ -546,15 +833,33 @@ class ClusterSimulator:
 
             sim.schedule(retry.hedge_after_ms, maybe_hedge)
 
-        def _complete(start_ms: float) -> None:
+        def _record_response(start_ms: float, served: bool) -> None:
+            response = sim.now - start_ms
+            responses.append(response)
+            if qos is not None:
+                qos.record(response)
+            good = served and (
+                qos is None or response <= profile.qos.limit_ms
+            )
+            if good:
+                state["good"] += 1
+
+        def complete(start_ms: float, served: bool = True) -> None:
+            """A request finished: served, or given up after timeouts."""
+            if overload_report is not None and served:
+                overload_report.completed.record(sim.now)
+                if qos is None or sim.now - start_ms <= profile.qos.limit_ms:
+                    overload_report.goodput.record(sim.now)
+            if open_loop:
+                if not state["done"] and start_ms >= state["t0"]:
+                    _record_response(start_ms, served)
+                return
             state["completions"] += 1
             if state["completions"] == self._warmup:
                 state["t0"] = sim.now
+                state["measuring"] = True
             elif state["completions"] > self._warmup and not state["done"]:
-                response = sim.now - start_ms
-                responses.append(response)
-                if qos is not None:
-                    qos.record(response)
+                _record_response(start_ms, served)
                 if state["completions"] >= self._warmup + self._measure:
                     state["done"] = True
                     state["t1"] = sim.now
@@ -562,8 +867,50 @@ class ClusterSimulator:
                     return
             client_loop()
 
-        for _ in range(self._clients):
+        def abandon() -> None:
+            """A request was shed/rejected: an error, not a latency sample."""
+            if open_loop:
+                return
+            state["completions"] += 1
+            if state["completions"] == self._warmup:
+                state["t0"] = sim.now
+                state["measuring"] = True
+            elif state["completions"] >= self._warmup + self._measure:
+                state["done"] = True
+                state["t1"] = sim.now
+                sim.stop()
+                return
             client_loop()
+
+        if open_loop:
+            schedule = self._arrivals
+
+            def schedule_arrival() -> None:
+                if state["done"]:
+                    return
+                rate_per_ms = schedule.rate_rps(sim.now) / 1000.0
+                sim.schedule(rng.expovariate(rate_per_ms), arrive)
+
+            def arrive() -> None:
+                if state["done"]:
+                    return
+                schedule_arrival()
+                issue()
+
+            def begin_measurement() -> None:
+                state["measuring"] = True
+
+            def end_run() -> None:
+                state["done"] = True
+                sim.stop()
+
+            if self._warmup_ms > 0:
+                sim.schedule_at(self._warmup_ms, begin_measurement)
+            sim.schedule_at(state["t1"], end_run)
+            schedule_arrival()
+        else:
+            for _ in range(self._clients):
+                client_loop()
         sim.run()
 
         if not state["done"]:
@@ -580,10 +927,13 @@ class ClusterSimulator:
             }
         window_s = max(state["t1"] - state["t0"], 1e-9) / 1000.0
         throughput = len(responses) / window_s
+        attach_report = track_faults or retry is not None or policy is not None
         return ClusterResult(
             servers=self._servers,
             throughput_rps=throughput,
-            mean_response_ms=sum(responses) / len(responses),
+            mean_response_ms=(
+                sum(responses) / len(responses) if responses else 0.0
+            ),
             qos_percentile_ms=(
                 qos.percentile_ms() if qos and qos.count else 0.0
             ),
@@ -596,7 +946,13 @@ class ClusterSimulator:
                 if tracker is not None
                 else 1.0
             ),
-            fault_report=report if track_faults else None,
+            fault_report=report if attach_report else None,
+            offered_rps=state["offered"] / window_s,
+            goodput_rps=state["good"] / window_s,
+            p99_ms=(
+                qos.percentile_ms(0.99) if qos and qos.count else 0.0
+            ),
+            overload_report=overload_report,
         )
 
     def _inject_faults(

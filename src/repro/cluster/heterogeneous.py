@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import List, Mapping
 
 
 @dataclass(frozen=True)

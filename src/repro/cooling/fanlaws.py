@@ -19,7 +19,6 @@ a heat load through a given airflow path within a temperature budget.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.cooling.thermal import AirflowPath, required_flow_m3_s

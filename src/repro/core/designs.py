@@ -21,7 +21,7 @@ The two unified designs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cooling.enclosure import (
@@ -31,7 +31,6 @@ from repro.cooling.enclosure import (
     EnclosureDesign,
 )
 from repro.cooling.rack import pack_rack
-from repro.costmodel.burdened import BurdenedPowerCoolingModel
 from repro.costmodel.catalog import server_bill
 from repro.costmodel.components import Component, ComponentSpec, ServerBill
 from repro.costmodel.power import PowerModel

@@ -8,7 +8,7 @@ every cell is relative to the baseline system.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping
+from typing import Dict, List, Mapping
 
 from repro.core.metrics import EfficiencyMetrics, harmonic_mean
 

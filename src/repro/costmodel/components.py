@@ -10,7 +10,7 @@ the per-server totals the rest of the cost model builds on.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Tuple
 
 

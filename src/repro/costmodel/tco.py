@@ -18,9 +18,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from repro.costmodel.burdened import BurdenedPowerCoolingModel
-from repro.costmodel.components import Component, ServerBill
+from repro.costmodel.components import ServerBill
 from repro.costmodel.power import PowerModel
-from repro.costmodel.rack import RackConfig, STANDARD_RACK
+from repro.costmodel.rack import RackConfig
 
 
 class CostCategory(enum.Enum):

@@ -12,7 +12,7 @@ largest slices.
 from __future__ import annotations
 
 from repro.costmodel.catalog import server_bill
-from repro.costmodel.tco import CostCategory, TcoModel
+from repro.costmodel.tco import TcoModel
 from repro.experiments.reporting import (
     ExperimentResult,
     dollars,

@@ -83,8 +83,10 @@ def run(method: str = "sim", config: SimConfig = SimConfig()) -> ExperimentResul
 
     # Section 3.2: rack power comparison.
     rack_rows = [
-        (name, f"{power_model.rack.rack_power_w(server_bill(name).power_w) / 1000:.1f} kW "
-               f"nameplate ({power_model.rack_consumed_w(server_bill(name)) / 1000:.1f} kW consumed)")
+        (name,
+         f"{power_model.rack.rack_power_w(server_bill(name).power_w) / 1000:.1f} kW "
+         f"nameplate "
+         f"({power_model.rack_consumed_w(server_bill(name)) / 1000:.1f} kW consumed)")
         for name in ("srvr1", "emb1")
     ]
     sections["rack power (section 3.2)"] = format_table(

@@ -68,8 +68,8 @@ def equal_performance_comparison(evaluation: DesignEvaluation) -> Dict[str, Dict
         power_ratio = servers_needed * metrics.power_w / base_metrics.power_w
         cost_ratio = servers_needed * metrics.tco_usd / base_metrics.tco_usd
         rack_density = design.rack().servers_per_rack
+        # Floor space scales with rack count, so racks_ratio covers both.
         racks_ratio = (servers_needed / rack_density) / (1.0 / 40.0)
-        floor_ratio = racks_ratio  # floor space scales with rack count
         out[name] = {
             "servers_per_srvr1": servers_needed,
             "power_reduction": 1.0 - power_ratio,

@@ -20,7 +20,6 @@ Each step is reported cumulatively as HMean Perf/TCO-$ vs srvr1.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Tuple
 
 from repro.cooling.enclosure import AGGREGATED_MICROBLADE
@@ -150,7 +149,8 @@ def run(method: str = "sim", config: SimConfig = SimConfig()) -> ExperimentResul
         f"remote-memory slowdown with CBF + DMA-direct: "
         f"{fast_slowdown * 100:.2f}% (vs the 2% PCIe assumption); "
         f"blade effective capacity "
-        f"{effective_capacity_factor(PageSharingModel(servers=8), CompressionModel()):.2f}x physical."
+        f"{effective_capacity_factor(PageSharingModel(servers=8), CompressionModel()):.2f}x "
+        "physical."
     )
     return ExperimentResult(
         experiment_id="EXT-5",

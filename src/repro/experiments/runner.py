@@ -27,6 +27,7 @@ from repro.experiments import (
     future,
     heterogeneous,
     latency_load,
+    overload,
     power_accounting,
     scaleout,
     sensitivity,
@@ -58,6 +59,7 @@ _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "latency": latency_load.run,
     "heterogeneous": heterogeneous.run,
     "availability": availability.run,
+    "overload": overload.run,
 }
 
 #: Experiments that accept a ``method`` keyword (DES vs analytic).

@@ -13,7 +13,7 @@ reused across the sweep.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Sequence
 
 from repro.core.metrics import harmonic_mean
 from repro.costmodel.burdened import BurdenedCostParameters, BurdenedPowerCoolingModel

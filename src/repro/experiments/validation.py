@@ -15,7 +15,6 @@ from repro.core.designs import baseline_design, n1_design, n2_design
 from repro.experiments.figure4 import slowdown_table
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.table3 import configuration_efficiencies
-from repro.simulator.performance import relative_performance_matrix
 from repro.simulator.server_sim import SimConfig
 from repro.validation.compare import compare_matrix, render_comparison, summarize
 from repro.validation.reference import (

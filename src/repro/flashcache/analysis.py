@@ -20,7 +20,7 @@ to the server bill.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.costmodel.components import ComponentSpec
 from repro.flashcache.models import (

@@ -11,7 +11,7 @@ attractive, which the lifetime estimate here quantifies.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.platforms.storage import StorageDevice

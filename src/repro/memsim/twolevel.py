@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.memsim.replacement import make_policy
 from repro.memsim.trace import PageTraceSpec, generate_trace

@@ -88,7 +88,9 @@ class StorageDevice:
         transfer_ms = bytes_transferred / (self.bandwidth_mb_s * 1000.0)
         return latency + transfer_ms
 
-    def relocated(self, location: StorageLocation, extra_latency_ms: float = 0.0) -> "StorageDevice":
+    def relocated(
+        self, location: StorageLocation, extra_latency_ms: float = 0.0
+    ) -> "StorageDevice":
         """Return a copy moved to a SAN (adds network round-trip latency)."""
         return StorageDevice(
             name=self.name,

@@ -28,6 +28,11 @@ from repro.simulator.telemetry import (
     LatencyHistogram,
     TimeSeries,
 )
+from repro.simulator.queueing import (
+    mm1k_blocking_probability,
+    mm1k_mean_number,
+    mm1k_mean_wait,
+)
 from repro.simulator.sweep import QosSweep, SweepResult
 from repro.simulator.analytic import AnalyticServerModel, mva_throughput
 from repro.simulator.performance import (
@@ -47,6 +52,9 @@ __all__ = [
     "EntityAvailability",
     "LatencyHistogram",
     "TimeSeries",
+    "mm1k_blocking_probability",
+    "mm1k_mean_number",
+    "mm1k_mean_wait",
     "QosSweep",
     "SweepResult",
     "AnalyticServerModel",

@@ -33,6 +33,10 @@ class Simulation:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay_ms, self._seq, callback))
 
+    def schedule_at(self, time_ms: float, callback: Callback) -> None:
+        """Run ``callback`` at absolute simulated time ``time_ms``."""
+        self.schedule(time_ms - self._now, callback)
+
     def stop(self) -> None:
         """Stop the event loop after the current callback returns."""
         self._stopped = True

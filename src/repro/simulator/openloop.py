@@ -7,13 +7,23 @@ regime of a production service below its saturation point.
 
 Used for latency-vs-load curves (why QoS caps utilization well below the
 bottleneck bound) and, with deterministic single-station workloads, for
-validating the DES against the exact M/D/1 waiting-time formula
-(``tests/simulator/test_openloop.py``).
+validating the DES against the exact M/D/1 waiting-time formula and the
+M/M/1/K blocking probability (``tests/simulator/test_openloop.py``).
+
+With ``queue_cap`` set, the server holds at most that many requests (in
+service + waiting); excess arrivals are *dropped* and accounted in
+``SimResult.dropped_requests`` / ``drop_rate`` -- the loss-system regime
+overload protection creates on purpose.  Without a cap, an offered load
+beyond capacity grows the queue without bound and the run fails loudly;
+with a cap the run always completes, so a ``RuntimeWarning`` is emitted
+instead when more than half the measured arrivals were dropped (the
+latency numbers then describe only the admitted minority).
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Optional
 
 from repro.platforms.platform import Platform
@@ -40,11 +50,14 @@ class OpenLoopSimulator:
         config: SimConfig = SimConfig(),
         disk_model: Optional[DiskModel] = None,
         memory_slowdown: float = 1.0,
+        queue_cap: Optional[int] = None,
     ):
         if arrival_rate_rps <= 0:
             raise ValueError("arrival rate must be positive")
         if memory_slowdown < 1.0:
             raise ValueError("memory_slowdown is a multiplier >= 1.0")
+        if queue_cap is not None and queue_cap < 1:
+            raise ValueError("queue_cap must be positive (or None)")
         self._platform = platform
         self._workload = workload
         self._profile = workload.profile
@@ -52,6 +65,7 @@ class OpenLoopSimulator:
         self._config = config
         self._disk_model = disk_model or PlatformDiskModel(platform)
         self._memory_slowdown = memory_slowdown
+        self._queue_cap = queue_cap
 
     def run(self) -> SimResult:
         """Generate arrivals until the measurement window completes."""
@@ -74,7 +88,8 @@ class OpenLoopSimulator:
         qos = QosTracker(profile.qos) if profile.qos else None
         responses: list = []
         busy_at_start = {r.name: 0.0 for r in (cpu, mem, disk, nic)}
-        state = {"completions": 0, "arrivals": 0, "t0": 0.0, "t1": 0.0,
+        state = {"completions": 0, "arrivals": 0, "dropped": 0,
+                 "win_arrivals": 0, "win_dropped": 0, "t0": 0.0, "t1": 0.0,
                  "done": False, "overloaded": False}
 
         def schedule_arrival() -> None:
@@ -87,7 +102,23 @@ class OpenLoopSimulator:
             if state["done"]:
                 return
             state["arrivals"] += 1
-            if state["arrivals"] - state["completions"] > overload_threshold:
+            measuring = state["completions"] >= warmup
+            if measuring:
+                state["win_arrivals"] += 1
+            in_flight = (
+                state["arrivals"] - state["completions"] - state["dropped"] - 1
+            )
+            if self._queue_cap is not None and in_flight >= self._queue_cap:
+                # Finite system: the arrival is rejected, not queued.
+                state["dropped"] += 1
+                if measuring:
+                    state["win_dropped"] += 1
+                schedule_arrival()
+                return
+            admitted_in_flight = (
+                state["arrivals"] - state["dropped"] - state["completions"]
+            )
+            if admitted_in_flight > overload_threshold:
                 state["overloaded"] = True
                 state["done"] = True
                 sim.stop()
@@ -162,6 +193,20 @@ class OpenLoopSimulator:
         throughput = len(responses) / (window / 1000.0)
         mean_response = sum(responses) / len(responses)
         percentile = qos.percentile_ms() if qos and qos.count else mean_response
+        drop_rate = (
+            state["win_dropped"] / state["win_arrivals"]
+            if state["win_arrivals"]
+            else 0.0
+        )
+        if drop_rate > 0.5:
+            warnings.warn(
+                f"offered load of {self._rate_per_ms * 1000:.1f} req/s is "
+                f"unsustainable: the queue cap of {self._queue_cap} dropped "
+                f"{drop_rate:.0%} of arrivals; latency figures describe only "
+                "the admitted requests",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return SimResult(
             throughput_rps=throughput,
             mean_response_ms=mean_response,
@@ -177,4 +222,6 @@ class OpenLoopSimulator:
             },
             population=0,
             measured_requests=len(responses),
+            dropped_requests=state["win_dropped"],
+            drop_rate=drop_rate,
         )

@@ -19,7 +19,7 @@ from typing import Dict, Iterable, Optional
 from repro.platforms.catalog import platform as _platform
 from repro.platforms.platform import Platform
 from repro.simulator.analytic import AnalyticServerModel
-from repro.simulator.server_sim import DiskModel, ServerSimulator, SimConfig, SimResult
+from repro.simulator.server_sim import DiskModel, ServerSimulator, SimConfig
 from repro.simulator.sweep import QosSweep
 from repro.workloads.base import MetricKind, Workload
 from repro.workloads.suite import make_workload

@@ -16,7 +16,7 @@ requests completing inside the window feed the QoS tracker.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Protocol
 
 from repro.platforms.platform import Platform
@@ -75,6 +75,11 @@ class SimResult:
     utilization: Dict[str, float]
     population: int
     measured_requests: int
+    #: Arrivals rejected by a finite queue cap during the measurement
+    #: window (open-loop runs with ``queue_cap`` only).
+    dropped_requests: int = 0
+    #: Fraction of measurement-window arrivals rejected by the cap.
+    drop_rate: float = 0.0
 
     def describe(self) -> str:
         flags = "" if self.qos_met else " [QoS violated]"

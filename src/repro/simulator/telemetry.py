@@ -137,6 +137,25 @@ class TimeSeries:
         scale = 1000.0 / self.bucket_ms
         return [(t, v * scale) for t, v in self.series()]
 
+    def window_sum(self, start_ms: float, end_ms: float) -> float:
+        """Total accumulated value in buckets starting in [start, end)."""
+        if end_ms < start_ms:
+            raise ValueError("window must be ordered")
+        first = int(start_ms / self.bucket_ms)
+        last = int(end_ms / self.bucket_ms)
+        return sum(
+            value
+            for index, value in self._buckets.items()
+            if first <= index < last
+        )
+
+    def window_mean_rate_per_s(self, start_ms: float, end_ms: float) -> float:
+        """Mean per-second rate over [start, end) (0 for an empty window)."""
+        span_ms = end_ms - start_ms
+        if span_ms <= 0:
+            return 0.0
+        return self.window_sum(start_ms, end_ms) / (span_ms / 1000.0)
+
 
 @dataclass
 class EntityAvailability:

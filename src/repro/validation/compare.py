@@ -8,7 +8,7 @@ EXPERIMENTS.md and the validation experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import List, Mapping
 
 from repro.experiments.reporting import format_table
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field, replace as _dc_replace
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 

@@ -21,7 +21,7 @@ import random
 from dataclasses import replace
 from typing import Callable
 
-from repro.workloads.base import Request, Workload, WorkloadProfile
+from repro.workloads.base import Request, Workload
 from repro.workloads.mapreduce import make_mapred_wc
 from repro.workloads.webmail import make_webmail
 from repro.workloads.websearch import make_websearch

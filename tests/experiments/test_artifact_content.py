@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import figure2, figure5, table3
+from repro.experiments import figure2, figure5
 from repro.experiments.table3 import device_table
 
 
@@ -21,7 +21,9 @@ class TestFigure2Content:
 
     def test_breakdown_totals_match_table2(self, result):
         table = result.sections["Inf-$ breakdown (a)"]
-        total_line = [l for l in table.splitlines() if l.startswith("total")][0]
+        total_line = [
+            line for line in table.splitlines() if line.startswith("total")
+        ][0]
         assert "3,294" in total_line and "379" in total_line
 
     def test_charts_have_legends(self, result):

@@ -83,8 +83,9 @@ class TestRunner:
         assert set(_EXPERIMENTS) == {
             "table1", "figure1", "table2", "figure2", "figure3",
             "figure4", "table3", "figure5", "sensitivity",
-            "ablation", "scaleout", "diurnal", "validation", "future", "power", "contention", "latency", "heterogeneous",
-            "availability",
+            "ablation", "scaleout", "diurnal", "validation", "future",
+            "power", "contention", "latency", "heterogeneous",
+            "availability", "overload",
         }
 
     def test_run_experiment_by_name(self):

@@ -1,0 +1,108 @@
+"""Tests of the metastable-overload experiment (EXT-10)."""
+
+import pytest
+
+from repro.experiments import overload
+from repro.experiments.runner import _EXPERIMENTS
+
+DESIGNS = ("srvr1", "N1", "N2")
+MODES = ("naive", "protected")
+
+#: Small sweep used for the determinism and invariant checks; kept
+#: short so two full srvr1/N1/N2 runs stay cheap.
+_SMALL = dict(
+    servers=2,
+    seed=11,
+    warmup_ms=1000.0,
+    surge_start_ms=3000.0,
+    surge_end_ms=5000.0,
+    measure_ms=9000.0,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Two servers instead of four keeps the event count manageable
+    # while leaving the surge dynamics (and the metastable collapse)
+    # intact.
+    return overload.run(servers=2)
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    return overload.run(**_SMALL), overload.run(**_SMALL)
+
+
+class TestOverloadExperiment:
+    def test_reports_every_design_and_mode(self, result):
+        for name in DESIGNS:
+            assert name in result.data
+            for mode in MODES:
+                row = result.data[name][mode]
+                assert row["offered_rps"] > 0
+                assert row["pre_surge_goodput_rps"] > 0
+
+    def test_naive_stack_collapses(self, result):
+        # Acceptance: post-surge goodput at least 30% below pre-surge.
+        for name in DESIGNS:
+            row = result.data[name]["naive"]
+            assert row["post_surge_goodput_rps"] <= (
+                0.7 * row["pre_surge_goodput_rps"]
+            )
+
+    def test_protected_stack_recovers(self, result):
+        # Acceptance: within 5% of the pre-surge baseline, inside the
+        # measurement window.
+        for name in DESIGNS:
+            row = result.data[name]["protected"]
+            assert row["recovered_fraction"] >= 0.95
+            assert row["recovery_ms"] is not None
+
+    def test_protection_layers_fire(self, result):
+        for name in DESIGNS:
+            protected = result.data[name]["protected"]
+            assert protected["total_shed"] > 0
+            assert protected["retries_denied"] >= 0
+            naive = result.data[name]["naive"]
+            assert naive["total_shed"] == 0
+            assert naive["rejected_queue_full"] == 0
+
+    def test_goodput_bounded_by_throughput_and_offered(
+        self, result, small_results
+    ):
+        # Structural invariant across the design/mode/parameter sweep:
+        # goodput <= throughput <= offered.
+        sweeps = [result.data, small_results[0].data]
+        for data in sweeps:
+            for name in DESIGNS:
+                for mode in MODES:
+                    row = data[name][mode]
+                    assert row["goodput_rps"] <= row["throughput_rps"] + 1e-9
+                    assert row["throughput_rps"] <= row["offered_rps"] + 1e-9
+
+    def test_same_seed_is_deterministic(self, small_results):
+        first, second = small_results
+        assert first.data == second.data
+
+    def test_cost_coda_is_anchored(self, result):
+        assert result.data["srvr1"]["protected"][
+            "relative_weighted_perf_per_tco"
+        ] == pytest.approx(1.0)
+        for name in DESIGNS:
+            naive = result.data[name]["naive"]
+            protected = result.data[name]["protected"]
+            assert (
+                naive["weighted_perf_per_tco"]
+                < protected["weighted_perf_per_tco"]
+            )
+
+    def test_sections_render(self, result):
+        assert any("surge" in name for name in result.sections)
+        assert "protection activity" in result.sections
+        assert "conclusion" in result.sections
+        rendered = result.render()
+        assert "recovered" in rendered
+        assert "N2" in rendered
+
+    def test_registered_with_runner(self):
+        assert _EXPERIMENTS["overload"] is overload.run

@@ -1,6 +1,5 @@
 """Tests of the experiments CLI."""
 
-import pathlib
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests of the stochastic fault injector and failure domains."""
 
-import pytest
 
 from repro.faults.injector import FailureDomain, FaultInjector
 from repro.faults.model import ComponentType, FaultProfile, FaultSpec

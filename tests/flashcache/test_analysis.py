@@ -4,7 +4,6 @@ import pytest
 
 from repro.flashcache.analysis import (
     DISK_CONFIGURATIONS,
-    DiskConfiguration,
     disk_configuration,
 )
 from repro.flashcache.models import (

@@ -1,6 +1,5 @@
 """Tests of eviction/writeback accounting in the two-level simulator."""
 
-import pytest
 
 from repro.memsim.replacement import LruPolicy, RandomPolicy
 from repro.memsim.trace import WORKLOAD_TRACES

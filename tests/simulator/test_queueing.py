@@ -12,6 +12,9 @@ from repro.simulator.queueing import (
     md1_mean_wait,
     mg1_mean_wait,
     mm1_mean_wait,
+    mm1k_blocking_probability,
+    mm1k_mean_number,
+    mm1k_mean_wait,
     mmm_mean_wait,
 )
 from repro.simulator.server_sim import ServerSimulator, SimConfig
@@ -131,4 +134,71 @@ class TestDesAgainstClosedForms:
         )
         assert result.mean_response_ms + think == pytest.approx(
             implied_r + think, rel=0.02
+        )
+
+
+class TestMM1KClosedForms:
+    def test_blocking_probability_known_values(self):
+        # K=1 (no waiting room): P_block = rho / (1 + rho).
+        assert mm1k_blocking_probability(0.5, 1) == pytest.approx(1.0 / 3.0)
+        # rho -> 1 limit: uniform over K+1 states.
+        assert mm1k_blocking_probability(1.0, 4) == pytest.approx(0.2)
+
+    def test_blocking_vanishes_with_capacity_at_low_rho(self):
+        assert mm1k_blocking_probability(0.5, 40) < 1e-11
+
+    def test_overload_is_allowed_and_bounded(self):
+        # Unlike the infinite-queue forms, rho >= 1 is meaningful.
+        p = mm1k_blocking_probability(2.0, 10)
+        assert 0.5 < p < 1.0
+        # Carried load never exceeds the service rate.
+        assert 2.0 * (1.0 - p) <= 1.0
+
+    def test_mean_number_approaches_mm1_for_large_k(self):
+        rho = 0.5
+        assert mm1k_mean_number(rho, 60) == pytest.approx(rho / (1 - rho))
+
+    def test_mean_wait_approaches_mm1_for_large_k(self):
+        assert mm1k_mean_wait(10.0, 0.5, 60) == pytest.approx(
+            mm1_mean_wait(10.0, 0.5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1k_blocking_probability(-0.1, 5)
+        with pytest.raises(ValueError):
+            mm1k_blocking_probability(0.5, 0)
+        with pytest.raises(ValueError):
+            mm1k_mean_wait(0.0, 0.5, 5)
+
+
+class TestDesAgainstMM1K:
+    @pytest.mark.parametrize("rho,capacity", [(0.8, 8), (1.2, 10)])
+    def test_shed_rate_matches_blocking_probability(self, rho, capacity):
+        """Exponential service + finite queue cap on emb2 = M/M/1/K.
+
+        The simulated drop rate must match the closed-form blocking
+        probability within 10% (the overload-PR acceptance bound), and
+        the admitted requests' waiting time must match Little's law.
+        """
+        plat = platform("emb2")
+        mean_cpu = 10.0
+        service = plat.cpu_time_ms(mean_cpu, 0.0, 1.0)
+
+        def sampler(rng: random.Random) -> Request:
+            return Request(
+                demand=ResourceDemand(cpu_ms_ref=rng.expovariate(1.0 / mean_cpu))
+            )
+
+        workload = _cpu_workload(sampler, mean_cpu)
+        result = OpenLoopSimulator(
+            plat, workload, arrival_rate_rps=rho / service * 1000.0,
+            config=SimConfig(warmup_requests=3000, measure_requests=25_000, seed=41),
+            queue_cap=capacity,
+        ).run()
+        expected_block = mm1k_blocking_probability(rho, capacity)
+        assert result.drop_rate == pytest.approx(expected_block, rel=0.10)
+        expected_wait = mm1k_mean_wait(service, rho, capacity)
+        assert result.mean_response_ms - service == pytest.approx(
+            expected_wait, rel=0.10
         )

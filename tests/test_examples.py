@@ -4,7 +4,6 @@ import importlib.util
 import pathlib
 import sys
 
-import pytest
 
 _EXAMPLES = pathlib.Path(__file__).parents[1] / "examples"
 
@@ -29,6 +28,7 @@ def test_all_examples_exist_and_have_main():
         "ensemble_memory_provisioning",
         "client_driver_session",
         "paper_walkthrough",
+        "overload_surge",
     }
     found = {p.stem for p in _EXAMPLES.glob("*.py")}
     assert expected <= found
