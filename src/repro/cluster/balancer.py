@@ -69,6 +69,7 @@ from repro.cluster.overload import (
 from repro.faults.injector import FaultInjector
 from repro.faults.model import ComponentType, FaultProfile
 from repro.memsim.remote_memory import RemoteMemoryModel
+from repro.perf.variates import exponential_sampler
 from repro.platforms.platform import Platform
 from repro.simulator.engine import Simulation
 from repro.simulator.resources import Resource
@@ -206,8 +207,53 @@ class ClusterResult:
         return max(self.server_completions) / mean if mean else 1.0
 
 
+class _RequestState:
+    """Per-request record on the balancer's hot path.
+
+    One is allocated per issued request (tens of thousands per run), so
+    it is a slotted plain class rather than a dict: ~3x smaller and
+    allocation-cheaper, which the alloc microbenchmark in
+    :mod:`repro.perf.bench` tracks.
+    """
+
+    __slots__ = ("demand", "start", "attempts", "finished", "hedged")
+
+    def __init__(self, demand, start: float):
+        self.demand = demand
+        self.start = start
+        self.attempts = 0
+        self.finished = False
+        self.hedged = False
+
+
+class _Attempt:
+    """One dispatch attempt of a request (slotted: hot-path record).
+
+    ``timer``/``hedge_timer`` hold :meth:`Simulation.schedule_timer`
+    handles (0 = none) so a completed attempt cancels its pending
+    timeout instead of leaving a dead event in the heap.
+    """
+
+    __slots__ = ("server", "epoch", "void", "done", "probe", "timer", "hedge_timer")
+
+    def __init__(self, server: "_Server", epoch: int, probe: bool):
+        self.server = server
+        self.epoch = epoch
+        self.void = False
+        self.done = False
+        self.probe = probe
+        self.timer = 0
+        self.hedge_timer = 0
+
+
 class _Server:
     """One server's resources inside the cluster simulation."""
+
+    __slots__ = (
+        "index", "cpu", "mem", "disk", "nic", "disk_model", "outstanding",
+        "completions", "up", "epoch", "down_components", "cpu_throttle",
+        "blade_down",
+    )
 
     def __init__(
         self, sim: Simulation, platform: Platform, disk_model: DiskModel,
@@ -408,6 +454,9 @@ class ClusterSimulator:
     def run(self) -> ClusterResult:
         sim = Simulation()
         rng = random.Random(self._seed)
+        # Stream-identical fast path for rng.expovariate: same values from
+        # the same generator state, without the per-draw method dispatch.
+        sample_exp = exponential_sampler(rng)
         platform = self._platform
         profile = self._workload.profile
         retry = self._retry
@@ -515,7 +564,7 @@ class ClusterSimulator:
             if state["done"]:
                 return
             think = (
-                rng.expovariate(1.0 / profile.think_time_ms)
+                sample_exp(1.0 / profile.think_time_ms)
                 if profile.think_time_ms > 0
                 else 0.0
             )
@@ -525,13 +574,7 @@ class ClusterSimulator:
             if state["done"]:
                 return
             request = self._workload.sample(rng)
-            rs = {
-                "demand": request.demand,
-                "start": sim.now,
-                "attempts": 0,
-                "finished": False,
-                "hedged": False,
-            }
+            rs = _RequestState(request.demand, sim.now)
             if overload_report is not None:
                 overload_report.offered.record(sim.now)
             if _measurement_active():
@@ -561,8 +604,8 @@ class ClusterSimulator:
                 return False
             return True
 
-        def dispatch_request(rs: dict) -> None:
-            if state["done"] or rs["finished"]:
+        def dispatch_request(rs: _RequestState) -> None:
+            if state["done"] or rs.finished:
                 return
             alive = self._alive(servers)
             if not alive:
@@ -588,46 +631,48 @@ class ClusterSimulator:
                     overload_report.rejected_queue_full += 1
                     fast_fail(rs)
                     return
-            rs["attempts"] += 1
+            rs.attempts += 1
             start_attempt(rs, self._pick(candidates, rr_state, rng))
 
-        def retry_or_give_up(rs: dict) -> None:
+        def retry_or_give_up(rs: _RequestState) -> None:
             """After a failed attempt: bounded, budgeted retry or give up."""
-            if state["done"] or rs["finished"]:
+            if state["done"] or rs.finished:
                 return
-            if retry is not None and rs["attempts"] <= retry.max_retries:
+            if retry is not None and rs.attempts <= retry.max_retries:
                 if retry_budget is None or retry_budget.try_spend():
                     report.retries += 1
-                    backoff = retry.backoff_ms(rs["attempts"] - 1, rng)
+                    backoff = retry.backoff_ms(rs.attempts - 1, rng)
                     sim.schedule(backoff, lambda: dispatch_request(rs))
                     return
                 overload_report.retries_denied += 1
             # Retry budget exhausted (or denied): give up and report the
             # request at its full elapsed time (a QoS casualty, not a
             # silent drop).
-            rs["finished"] = True
+            rs.finished = True
             report.gave_up += 1
-            complete(rs["start"], served=False)
+            complete(rs.start, served=False)
 
-        def fast_fail(rs: dict) -> None:
+        def fast_fail(rs: _RequestState) -> None:
             """A dispatch was refused outright (queue full / breakers open).
 
             Counts as an attempt; the client retries after backoff or
             sees an immediate error (which never enters the latency
             distribution -- it is shed load, not a slow response)."""
-            rs["attempts"] += 1
-            if retry is not None and rs["attempts"] <= retry.max_retries:
+            rs.attempts += 1
+            if retry is not None and rs.attempts <= retry.max_retries:
                 if retry_budget is None or retry_budget.try_spend():
                     report.retries += 1
-                    backoff = retry.backoff_ms(rs["attempts"] - 1, rng)
+                    backoff = retry.backoff_ms(rs.attempts - 1, rng)
                     sim.schedule(backoff, lambda: dispatch_request(rs))
                     return
                 overload_report.retries_denied += 1
-            rs["finished"] = True
+            rs.finished = True
             abandon()
 
-        def start_attempt(rs: dict, server: _Server, hedge: bool = False) -> None:
-            demand = rs["demand"]
+        def start_attempt(
+            rs: _RequestState, server: _Server, hedge: bool = False
+        ) -> None:
+            demand = rs.demand
             brownout = (
                 policy is not None
                 and policy.brownout is not None
@@ -641,13 +686,7 @@ class ClusterSimulator:
                 if breakers is not None
                 else False
             )
-            attempt = {
-                "server": server,
-                "epoch": server.epoch,
-                "void": False,
-                "done": False,
-                "probe": probe,
-            }
+            attempt = _Attempt(server, server.epoch, probe)
             server.outstanding += 1
             dispatched_at = sim.now
 
@@ -679,30 +718,43 @@ class ClusterSimulator:
             net_ms = platform.net_time_ms(demand.net_bytes)
 
             def lost() -> bool:
-                return attempt["epoch"] != server.epoch
+                return attempt.epoch != server.epoch
 
             def record_outcome(ok: bool) -> None:
                 if breakers is not None:
                     breaker = breakers[server.index]
                     if ok:
-                        breaker.record_success(sim.now, attempt["probe"])
+                        breaker.record_success(sim.now, attempt.probe)
                     else:
-                        breaker.record_failure(sim.now, attempt["probe"])
+                        breaker.record_failure(sim.now, attempt.probe)
+
+            def cancel_timers() -> None:
+                # The attempt reached a terminal state before its timers
+                # fired; reclaim the dead heap entries (the guarded
+                # callbacks would have been no-ops, so behaviour is
+                # unchanged -- the heap just stays small).
+                if attempt.timer:
+                    sim.cancel(attempt.timer)
+                    attempt.timer = 0
+                if attempt.hedge_timer:
+                    sim.cancel(attempt.hedge_timer)
+                    attempt.hedge_timer = 0
 
             def done() -> None:
                 if lost():
                     return
                 server.outstanding -= 1
-                attempt["done"] = True
-                if attempt["void"]:
+                attempt.done = True
+                cancel_timers()
+                if attempt.void:
                     return
                 record_outcome(ok=True)
-                if rs["finished"]:
+                if rs.finished:
                     report.wasted_completions += 1
                     return
-                rs["finished"] = True
+                rs.finished = True
                 server.completions += 1
-                complete(rs["start"], served=True)
+                complete(rs.start, served=True)
 
             def after_disk() -> None:
                 if lost():
@@ -743,7 +795,7 @@ class ClusterSimulator:
                     admission.observe_delay(sim.now - dispatched_at)
                 if policy is None or not policy.deadline_shedding:
                     return True
-                if attempt["void"]:
+                if attempt.void:
                     # Timed out while queued; the timeout handler already
                     # arranged the retry -- just shed the stale work.
                     overload_report.shed_deadline += 1
@@ -754,10 +806,11 @@ class ClusterSimulator:
                 ):
                     # Provably cannot meet the deadline: fail fast now
                     # rather than waiting for the timeout to notice.
-                    attempt["void"] = True
+                    attempt.void = True
                     overload_report.shed_deadline += 1
                     server.outstanding -= 1
                     record_outcome(ok=False)
+                    cancel_timers()
                     retry_or_give_up(rs)
                     return False
                 return True
@@ -800,24 +853,24 @@ class ClusterSimulator:
 
             def on_timeout() -> None:
                 if (
-                    state["done"] or rs["finished"] or attempt["done"]
-                    or attempt["void"]
+                    state["done"] or rs.finished or attempt.done
+                    or attempt.void
                 ):
                     return
-                attempt["void"] = True
+                attempt.void = True
                 report.timeouts += 1
                 record_outcome(ok=False)
                 retry_or_give_up(rs)
 
-            sim.schedule(retry.timeout_ms, on_timeout)
+            attempt.timer = sim.schedule_timer(retry.timeout_ms, on_timeout)
 
-            if retry.hedge_after_ms is None or hedge or rs["hedged"]:
+            if retry.hedge_after_ms is None or hedge or rs.hedged:
                 return
 
             def maybe_hedge() -> None:
                 if (
-                    state["done"] or rs["finished"] or attempt["done"]
-                    or attempt["void"] or rs["hedged"]
+                    state["done"] or rs.finished or attempt.done
+                    or attempt.void or rs.hedged
                 ):
                     return
                 alive = self._alive(servers)
@@ -826,12 +879,14 @@ class ClusterSimulator:
                 ] or [s for s in alive if _allowed(s)]
                 if not others:
                     return
-                rs["hedged"] = True
-                rs["attempts"] += 1
+                rs.hedged = True
+                rs.attempts += 1
                 report.hedges += 1
                 start_attempt(rs, self._pick(others, rr_state, rng), hedge=True)
 
-            sim.schedule(retry.hedge_after_ms, maybe_hedge)
+            attempt.hedge_timer = sim.schedule_timer(
+                retry.hedge_after_ms, maybe_hedge
+            )
 
         def _record_response(start_ms: float, served: bool) -> None:
             response = sim.now - start_ms
@@ -889,7 +944,7 @@ class ClusterSimulator:
                 if state["done"]:
                     return
                 rate_per_ms = schedule.rate_rps(sim.now) / 1000.0
-                sim.schedule(rng.expovariate(rate_per_ms), arrive)
+                sim.schedule(sample_exp(rate_per_ms), arrive)
 
             def arrive() -> None:
                 if state["done"]:

@@ -72,6 +72,8 @@ class TokenBucket:
     simulated clock passed to :meth:`try_acquire`.
     """
 
+    __slots__ = ("_rate_per_ms", "_burst", "_tokens", "_last_ms")
+
     def __init__(self, rate_per_s: float, burst: float):
         if rate_per_s <= 0:
             raise ValueError("rate must be positive")
@@ -150,6 +152,8 @@ class AdmissionController:
     decisions are deterministic per seed.
     """
 
+    __slots__ = ("policy", "_slo_ms", "_rng", "_bucket", "_delay_ewma")
+
     def __init__(self, policy: AdmissionPolicy, slo_ms: float, rng):
         if slo_ms <= 0:
             raise ValueError("slo_ms must be positive")
@@ -216,6 +220,8 @@ class RetryBudgetPolicy:
 
 class RetryBudget:
     """Runtime token pool for a :class:`RetryBudgetPolicy`."""
+
+    __slots__ = ("policy", "_tokens")
 
     def __init__(self, policy: RetryBudgetPolicy):
         self.policy = policy
@@ -288,6 +294,11 @@ class CircuitBreaker:
     into every method.  ``on_transition(now_ms, state)`` is invoked on
     every state change so callers can keep a state timeline.
     """
+
+    __slots__ = (
+        "policy", "state", "opens", "_outcomes", "_opened_at",
+        "_probes_in_flight", "_on_transition",
+    )
 
     def __init__(
         self,

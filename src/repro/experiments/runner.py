@@ -5,13 +5,23 @@ Examples::
     repro-experiments --list
     repro-experiments figure1 table2
     repro-experiments --all --method analytic
+    repro-experiments --all --jobs 4
+    repro-experiments --all --no-cache
     python -m repro.experiments.runner figure5
+
+``--jobs N`` fans experiments (and the design grids inside a single
+experiment) across N worker processes; results are merged in request
+order and are bit-identical to a serial run.  Results are cached in
+``.repro-cache/`` keyed on experiment, parameters, and a source-code
+fingerprint -- edit any file under ``src/repro`` and the cache
+invalidates itself; ``--no-cache`` bypasses it entirely.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict
 
 from repro.experiments import (
@@ -37,6 +47,8 @@ from repro.experiments import (
     validation,
 )
 from repro.experiments.reporting import ExperimentResult
+from repro.perf.cache import ResultCache
+from repro.perf.parallel import default_jobs, run_experiments, set_intra_jobs
 
 #: name -> (factory accepting **kwargs, supports-method-kwarg)
 _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -66,8 +78,12 @@ _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 _METHOD_AWARE = {"figure2", "table3", "figure5", "sensitivity", "ablation", "future"}
 
 
-def run_experiment(name: str, method: str = "sim") -> ExperimentResult:
-    """Run one experiment by name."""
+def run_experiment(name: str, method: str = "sim", **overrides) -> ExperimentResult:
+    """Run one experiment by name.
+
+    ``overrides`` are forwarded to the experiment's ``run()`` (tests use
+    them to shrink workloads; see each experiment for its parameters).
+    """
     try:
         factory = _EXPERIMENTS[name]
     except KeyError as exc:
@@ -75,8 +91,8 @@ def run_experiment(name: str, method: str = "sim") -> ExperimentResult:
             f"unknown experiment {name!r}; known: {sorted(_EXPERIMENTS)}"
         ) from exc
     if name in _METHOD_AWARE:
-        return factory(method=method)
-    return factory()
+        return factory(method=method, **overrides)
+    return factory(**overrides)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -98,6 +114,25 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="also write the rendered results to FILE",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for experiment fan-out (0 = one per core; "
+        "results are identical to --jobs 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything, ignoring the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result-cache directory (default .repro-cache/, or "
+        "$REPRO_CACHE_DIR)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -109,10 +144,24 @@ def main(argv: list[str] | None = None) -> int:
     if not names:
         parser.print_help()
         return 2
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    # A single experiment cannot fan out at the experiment level, so let
+    # its internal design/benchmark grids use the same job budget (the
+    # two levels never nest: workers always run serially).
+    set_intra_jobs(jobs)
+    cache = (
+        None
+        if args.no_cache
+        else ResultCache(Path(args.cache_dir) if args.cache_dir else None)
+    )
 
     rendered = []
-    for name in names:
-        result = run_experiment(name, method=args.method)
+    for _, result in run_experiments(
+        names, method=args.method, jobs=jobs, cache=cache
+    ):
         text = result.render()
         print(text)
         print()

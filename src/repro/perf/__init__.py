@@ -1,0 +1,41 @@
+"""Performance layer: parallel execution, result caching, fast variates.
+
+``repro.perf`` makes the evaluation pipeline itself fast (ROADMAP north
+star: "runs as fast as the hardware allows") without changing a single
+result:
+
+- :mod:`repro.perf.parallel` -- process-pool experiment fan-out with
+  order-preserving, seed-stable merging (``repro-experiments --jobs N``);
+- :mod:`repro.perf.cache` -- a content-hashed experiment result cache
+  keyed on experiment name + parameters + a source fingerprint;
+- :mod:`repro.perf.variates` -- stream-identical fast exponential
+  sampling for the DES hot paths;
+- :mod:`repro.perf.bench` -- the tracked benchmark harness behind
+  ``repro-bench`` and ``BENCH_results.json``.
+"""
+
+from repro.perf.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, ResultCache, code_fingerprint
+from repro.perf.parallel import (
+    default_jobs,
+    in_worker,
+    intra_jobs,
+    pmap,
+    run_experiments,
+    set_intra_jobs,
+)
+from repro.perf.variates import ExponentialBlock, exponential_sampler
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "code_fingerprint",
+    "default_jobs",
+    "in_worker",
+    "intra_jobs",
+    "pmap",
+    "run_experiments",
+    "set_intra_jobs",
+    "ExponentialBlock",
+    "exponential_sampler",
+]

@@ -1,0 +1,419 @@
+"""Tracked benchmark harness (``repro-bench`` -> ``BENCH_results.json``).
+
+Times the layers the perf work targets and writes one JSON document so
+the repository's performance trajectory is tracked across PRs:
+
+- **engine** -- events/sec through :class:`repro.simulator.engine.Simulation`
+  on three microbenchmarks: *ping* (pure schedule/dispatch), *timer churn*
+  (the balancer's pattern: every request schedules a completion plus a
+  timeout that almost never fires -- the headline metric, since dead
+  timers are what the lazy-cancellation engine reclaims), and *batch*
+  (bulk initial loading via ``schedule_batch``).  Each is also run
+  against ``_LegacySimulation``, an in-harness replica of the pre-PR
+  event loop, so the speedup column stays measurable long after the old
+  engine is gone.
+- **alloc** -- bytes per hot request record (slotted classes vs the dict
+  records they replaced), via ``tracemalloc``.
+- **cluster** -- wall-clock of the open-loop surge path (the overload
+  experiment's inner loop) at reduced scale.
+- **e2e** (``--e2e``) -- cold vs warm-cache wall-clock of the full
+  experiment sweep through :func:`repro.perf.parallel.run_experiments`.
+
+``--check BASELINE`` compares the headline engine metric against a
+committed baseline and fails on >30% regression.  The gate uses the
+*speedup over the legacy replica* measured in the same run -- a
+machine-independent ratio -- rather than absolute events/sec, so CI
+hosts of different speeds share one baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+import tracemalloc
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.simulator.engine import Simulation
+
+#: Fail ``--check`` when the headline speedup drops below
+#: ``baseline * (1 - REGRESSION_TOLERANCE)``.
+REGRESSION_TOLERANCE = 0.30
+
+#: The headline metric's path into the results document.
+HEADLINE = ("engine_churn", "events_per_sec")
+
+DEFAULT_OUTPUT = "BENCH_results.json"
+
+
+class _LegacySimulation:
+    """Replica of the pre-PR event loop (the speedup reference).
+
+    Kept verbatim from the seed's ``simulator/engine.py``: tuple heap
+    entries, attribute lookups in the loop, no cancellation -- so dead
+    timers ride the heap until they fire.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._now = 0.0
+        self._seq = 0
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]) -> None:
+        if delay_ms < 0:
+            raise ValueError(f"cannot schedule in the past (delay {delay_ms})")
+        self._seq += 1
+        heappush(self._heap, (self._now + delay_ms, self._seq, callback))
+
+    def schedule_timer(self, delay_ms: float, callback: Callable[[], None]) -> int:
+        # The legacy engine had no timers; scheduling is the closest
+        # equivalent and the returned handle is a no-op to cancel.
+        self.schedule(delay_ms, callback)
+        return 0
+
+    def cancel(self, timer: int) -> None:
+        """No cancellation support: the dead entry stays queued."""
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def run(self, until_ms: Optional[float] = None) -> None:
+        self._stopped = False
+        while self._heap and not self._stopped:
+            time_ms, _, callback = self._heap[0]
+            if until_ms is not None and time_ms > until_ms:
+                self._now = until_ms
+                return
+            heappop(self._heap)
+            self._now = time_ms
+            callback()
+
+
+def _bench_ping(sim_factory, events: int) -> float:
+    """Events/sec for a self-rescheduling chain (pure dispatch cost)."""
+    sim = sim_factory()
+    remaining = [events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return events / elapsed
+
+
+def _bench_timer_churn(sim_factory, requests: int) -> float:
+    """Events/sec for the balancer's request pattern (headline).
+
+    Each request: one arrival, one completion at +1 ms, one timeout
+    timer at +1000 ms that is cancelled on completion.  On the legacy
+    engine the dead timeouts accumulate -- tens of thousands of entries
+    dragged through every push/pop -- which is precisely the overhead
+    lazy cancellation removes.  Throughput counts the three *logical*
+    events per request, so both engines are scored on the same work.
+    """
+    sim = sim_factory()
+    state = [0]
+
+    def arrive() -> None:
+        state[0] += 1
+        timer = [0]
+
+        def timeout() -> None:  # pragma: no cover - (almost) never fires
+            pass
+
+        def complete() -> None:
+            sim.cancel(timer[0])
+
+        timer[0] = sim.schedule_timer(1000.0, timeout)
+        sim.schedule(1.0, complete)
+        if state[0] < requests:
+            sim.schedule(0.1, arrive)
+
+    sim.schedule(0.0, arrive)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return (3 * requests) / elapsed
+
+
+def _bench_batch(sim_factory, events: int) -> float:
+    """Events/sec for bulk-loading then draining ``events`` entries.
+
+    Delays are scattered (a Weyl sequence), matching the realistic case
+    -- an initial client population with random think times -- where
+    per-entry ``heappush`` pays its full log cost and the single
+    ``heapify`` of ``schedule_batch`` is linear.
+    """
+    sim = sim_factory()
+    sink = [0]
+
+    def consume() -> None:
+        sink[0] += 1
+
+    pairs = [
+        (float((i * 2654435761) % 1_000_000) / 1000.0, consume)
+        for i in range(events)
+    ]
+    start = time.perf_counter()
+    if hasattr(sim, "schedule_batch"):
+        sim.schedule_batch(pairs)
+    else:
+        for delay, callback in pairs:
+            sim.schedule(delay, callback)
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return events / elapsed
+
+
+def _best_of(fn: Callable[[], float], repeats: int) -> float:
+    return max(fn() for _ in range(max(1, repeats)))
+
+
+def _engine_section(quick: bool) -> Dict[str, Dict[str, float]]:
+    repeats = 1 if quick else 3
+    ping_n = 20_000 if quick else 200_000
+    churn_n = 8_000 if quick else 60_000
+    batch_n = 20_000 if quick else 200_000
+    section = {}
+    for name, bench, scale in (
+        ("engine_ping", _bench_ping, ping_n),
+        ("engine_churn", _bench_timer_churn, churn_n),
+        ("engine_batch", _bench_batch, batch_n),
+    ):
+        new_rate = _best_of(lambda: bench(Simulation, scale), repeats)
+        old_rate = _best_of(lambda: bench(_LegacySimulation, scale), repeats)
+        section[name] = {
+            "events_per_sec": round(new_rate, 1),
+            "legacy_events_per_sec": round(old_rate, 1),
+            "speedup_vs_legacy": round(new_rate / old_rate, 3),
+        }
+    return section
+
+
+def _alloc_section() -> Dict[str, Dict[str, float]]:
+    """Bytes per request record: slotted classes vs the dicts they replaced."""
+    from repro.cluster.balancer import _Attempt, _RequestState
+
+    count = 10_000
+
+    def measure(make: Callable[[int], object]) -> float:
+        tracemalloc.start()
+        keep = [make(i) for i in range(count)]
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        del keep
+        return peak / count
+
+    slotted_rs = measure(lambda i: _RequestState(None, float(i)))
+    dict_rs = measure(
+        lambda i: {
+            "demand": None, "start": float(i), "attempts": 0,
+            "finished": False, "hedged": False,
+        }
+    )
+    slotted_attempt = measure(lambda i: _Attempt(None, i, False))
+    dict_attempt = measure(
+        lambda i: {
+            "server": None, "epoch": i, "void": False, "done": False,
+            "probe": False,
+        }
+    )
+    return {
+        "alloc_request_state": {
+            "slotted_bytes_per_obj": round(slotted_rs, 1),
+            "dict_bytes_per_obj": round(dict_rs, 1),
+            "savings_ratio": round(dict_rs / slotted_rs, 3),
+        },
+        "alloc_attempt": {
+            "slotted_bytes_per_obj": round(slotted_attempt, 1),
+            "dict_bytes_per_obj": round(dict_attempt, 1),
+            "savings_ratio": round(dict_attempt / slotted_attempt, 3),
+        },
+    }
+
+
+def _cluster_section(quick: bool) -> Dict[str, Dict[str, float]]:
+    """Wall-clock of the open-loop surge path at reduced scale."""
+    from repro.cluster.balancer import ClusterSimulator, RetryPolicy
+    from repro.cluster.overload import OverloadPolicy, SurgeSchedule
+    from repro.platforms.catalog import platform as platform_by_name
+    from repro.workloads.websearch import make_websearch
+
+    measure_ms = 4000.0 if quick else 12_000.0
+    platform = platform_by_name("srvr1")
+    workload = make_websearch()
+    surge = SurgeSchedule(
+        base_rate_rps=120.0,
+        surge_multiplier=4.0,
+        surge_start_ms=1000.0 + measure_ms * 0.25,
+        surge_end_ms=1000.0 + measure_ms * 0.5,
+    )
+    simulator = ClusterSimulator(
+        platform,
+        workload,
+        servers=3,
+        clients_per_server=1,
+        seed=11,
+        retry=RetryPolicy(timeout_ms=400.0, max_retries=1),
+        overload=OverloadPolicy(),
+        arrivals=surge,
+        warmup_ms=1000.0,
+        measure_ms=measure_ms,
+    )
+    start = time.perf_counter()
+    result = simulator.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "cluster_surge": {
+            "wall_s": round(elapsed, 3),
+            "simulated_ms": measure_ms,
+            "sim_ms_per_wall_s": round(measure_ms / elapsed, 1),
+            "offered_rps": round(result.offered_rps, 1),
+            "goodput_rps": round(result.goodput_rps, 1),
+        }
+    }
+
+
+def _e2e_section(jobs: int) -> Dict[str, Dict[str, float]]:
+    """Cold vs warm-cache wall-clock of the full experiment sweep."""
+    import tempfile
+
+    from repro.experiments.runner import _EXPERIMENTS
+    from repro.perf.cache import ResultCache
+    from repro.perf.parallel import run_experiments
+
+    names = list(_EXPERIMENTS)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache") as tmp:
+        cache = ResultCache(tmp)
+        start = time.perf_counter()
+        run_experiments(names, jobs=jobs, cache=cache)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        run_experiments(names, jobs=jobs, cache=cache)
+        warm = time.perf_counter() - start
+    return {
+        "e2e_all": {
+            "experiments": len(names),
+            "jobs": jobs,
+            "cold_s": round(cold, 2),
+            "warm_cache_s": round(warm, 2),
+            "warm_fraction": round(warm / cold, 4),
+        }
+    }
+
+
+def run_benchmarks(quick: bool = True, e2e: bool = False, jobs: int = 1) -> dict:
+    """Run the harness and return the results document."""
+    results: Dict[str, Dict[str, float]] = {}
+    results.update(_engine_section(quick))
+    results.update(_alloc_section())
+    results.update(_cluster_section(quick))
+    if e2e:
+        results.update(_e2e_section(jobs))
+    return {
+        "schema": 1,
+        "quick": quick,
+        "python": platform_mod.python_version(),
+        "machine": platform_mod.machine(),
+        "headline": {
+            "metric": "/".join(HEADLINE),
+            "events_per_sec": results[HEADLINE[0]][HEADLINE[1]],
+            "speedup_vs_legacy": results[HEADLINE[0]]["speedup_vs_legacy"],
+        },
+        "results": results,
+    }
+
+
+def check_regression(current: dict, baseline: dict) -> List[str]:
+    """Regression messages comparing ``current`` against ``baseline``.
+
+    Gates on the headline *speedup over the in-run legacy replica* (a
+    machine-independent ratio); absolute events/sec is reported but not
+    gated, since CI hosts vary in raw speed.
+    """
+    failures = []
+    current_ratio = current["headline"]["speedup_vs_legacy"]
+    baseline_ratio = baseline["headline"]["speedup_vs_legacy"]
+    floor = baseline_ratio * (1.0 - REGRESSION_TOLERANCE)
+    if current_ratio < floor:
+        failures.append(
+            f"engine headline speedup regressed: {current_ratio:.2f}x vs "
+            f"baseline {baseline_ratio:.2f}x (floor {floor:.2f}x)"
+        )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the simulation engine and experiment pipeline.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small iteration counts (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="full iteration counts (default unless --quick)",
+    )
+    parser.add_argument(
+        "--e2e", action="store_true",
+        help="also time the full experiment sweep, cold and warm cache",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the --e2e sweep",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=DEFAULT_OUTPUT,
+        help=f"results file (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="fail (exit 1) if the headline engine metric regressed >30%% "
+        "versus this committed baseline JSON",
+    )
+    args = parser.parse_args(argv)
+
+    quick = args.quick and not args.full
+    document = run_benchmarks(quick=quick, e2e=args.e2e, jobs=args.jobs)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    for name, metrics in document["results"].items():
+        rendered = ", ".join(f"{k}={v}" for k, v in metrics.items())
+        print(f"{name}: {rendered}")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_regression(document, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            "regression check passed: headline speedup "
+            f"{document['headline']['speedup_vs_legacy']:.2f}x vs baseline "
+            f"{baseline['headline']['speedup_vs_legacy']:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -2,40 +2,128 @@
 
 A minimal, fast event loop: callbacks scheduled at absolute simulated
 times (milliseconds), executed in time order with FIFO tie-breaking.
+
+The implementation is tuned for the per-event overhead that dominates
+DES-backed experiments (``PERF.md`` in ``docs/performance.md``):
+
+- heap entries are plain ``(time, seq, callback)`` tuples so ordering
+  uses CPython's C tuple comparison (``seq`` is unique, so callbacks are
+  never compared);
+- the dispatch loop binds ``heappop`` and the heap list to locals and is
+  split into with/without-``until_ms`` variants so the common path pays
+  no per-event ``is not None`` test;
+- timers can be *lazily cancelled*: :meth:`cancel` marks the entry dead
+  in O(1) and the loop skips it when popped; once dead entries outnumber
+  half the heap, one in-place sweep-and-heapify reclaims them, so a
+  request path that schedules a timeout per attempt (the cluster
+  balancer) does not drag thousands of dead timers through every heap
+  operation;
+- :meth:`schedule_batch` bulk-loads events with a single ``heapify``
+  when the queue is empty (initial client populations, benchmarks).
+
+Tiny *negative* delays produced by float round-off (an absolute target
+computed as ``t - now`` landing one ulp in the past) are clamped to zero
+instead of raising; genuinely past targets still raise ``ValueError``.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, List, Optional, Tuple
+from heapq import heapify, heappop, heappush
+from typing import Callable, Iterable, List, Optional, Set, Tuple
 
 Callback = Callable[[], None]
+
+#: Negative delays no larger than this absolute slack -- plus a relative
+#: term scaled by the current clock, since float error grows with the
+#: magnitude of ``now`` -- are treated as round-off and clamped to 0.
+PAST_EPSILON_MS = 1e-9
+PAST_RELATIVE_EPSILON = 1e-12
 
 
 class Simulation:
     """An event-driven simulation clock and scheduler."""
+
+    __slots__ = ("_heap", "_now", "_seq", "_stopped", "_cancelled")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Callback]] = []
         self._now = 0.0
         self._seq = 0
         self._stopped = False
+        #: Sequence numbers of scheduled-but-cancelled timers (lazy).
+        self._cancelled: Set[int] = set()
 
     @property
     def now(self) -> float:
         """Current simulated time in milliseconds."""
         return self._now
 
-    def schedule(self, delay_ms: float, callback: Callback) -> None:
+    def _clamped(self, delay_ms: float) -> float:
+        """Clamp round-off negatives to 0; raise for the genuinely past."""
+        if delay_ms >= -(PAST_EPSILON_MS + PAST_RELATIVE_EPSILON * self._now):
+            return 0.0
+        raise ValueError(f"cannot schedule in the past (delay {delay_ms})")
+
+    def schedule(self, delay_ms: float, callback: Callback, _push=heappush) -> None:
         """Run ``callback`` after ``delay_ms`` of simulated time."""
-        if delay_ms < 0:
-            raise ValueError(f"cannot schedule in the past (delay {delay_ms})")
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay_ms, self._seq, callback))
+        if delay_ms < 0.0:
+            delay_ms = self._clamped(delay_ms)
+        self._seq = seq = self._seq + 1
+        _push(self._heap, (self._now + delay_ms, seq, callback))
 
     def schedule_at(self, time_ms: float, callback: Callback) -> None:
         """Run ``callback`` at absolute simulated time ``time_ms``."""
         self.schedule(time_ms - self._now, callback)
+
+    def schedule_timer(self, delay_ms: float, callback: Callback, _push=heappush) -> int:
+        """Like :meth:`schedule`, returning a handle for :meth:`cancel`."""
+        if delay_ms < 0.0:
+            delay_ms = self._clamped(delay_ms)
+        self._seq = seq = self._seq + 1
+        _push(self._heap, (self._now + delay_ms, seq, callback))
+        return seq
+
+    def cancel(self, timer: int) -> None:
+        """Cancel a timer returned by :meth:`schedule_timer`.
+
+        O(1): the entry is only marked dead; the dispatch loop discards
+        it when popped.  When dead entries outnumber half the queue, one
+        in-place sweep rebuilds the heap without them, keeping heap
+        operations logarithmic in the number of *live* events.  Calling
+        this for a timer that already fired is a harmless no-op (the
+        stale mark is dropped at the next sweep).
+        """
+        cancelled = self._cancelled
+        cancelled.add(timer)
+        heap = self._heap
+        if len(cancelled) * 2 > len(heap):
+            heap[:] = [entry for entry in heap if entry[1] not in cancelled]
+            heapify(heap)
+            cancelled.clear()
+
+    def schedule_batch(self, events: Iterable[Tuple[float, Callback]]) -> None:
+        """Schedule many ``(delay_ms, callback)`` pairs at once.
+
+        FIFO tie-breaking follows iteration order, exactly as repeated
+        :meth:`schedule` calls would; with an empty queue the batch is
+        loaded with a single ``heapify`` instead of n pushes.
+        """
+        heap = self._heap
+        now = self._now
+        seq = self._seq
+        bulk = not heap
+        for delay_ms, callback in events:
+            if delay_ms < 0.0:
+                delay_ms = self._clamped(delay_ms)
+            seq += 1
+            entry = (now + delay_ms, seq, callback)
+            if bulk:
+                heap.append(entry)
+            else:
+                heappush(heap, entry)
+        self._seq = seq
+        if bulk:
+            heapify(heap)
 
     def stop(self) -> None:
         """Stop the event loop after the current callback returns."""
@@ -45,15 +133,36 @@ class Simulation:
         """Process events until the queue drains, ``stop()`` is called, or
         the clock would pass ``until_ms``."""
         self._stopped = False
-        while self._heap and not self._stopped:
-            time, _, callback = self._heap[0]
-            if until_ms is not None and time > until_ms:
-                self._now = until_ms
-                return
-            heapq.heappop(self._heap)
-            self._now = time
-            callback()
+        heap = self._heap
+        pop = heappop
+        cancelled = self._cancelled
+        if until_ms is None:
+            while heap:
+                if self._stopped:
+                    return
+                entry = pop(heap)
+                if cancelled and entry[1] in cancelled:
+                    cancelled.discard(entry[1])
+                    continue
+                self._now = entry[0]
+                entry[2]()
+        else:
+            while heap:
+                if self._stopped:
+                    return
+                entry = heap[0]
+                time = entry[0]
+                if time > until_ms:
+                    self._now = until_ms
+                    return
+                pop(heap)
+                if cancelled and entry[1] in cancelled:
+                    cancelled.discard(entry[1])
+                    continue
+                self._now = time
+                entry[2]()
 
     @property
     def pending_events(self) -> int:
+        """Queued entries, including cancelled timers not yet reclaimed."""
         return len(self._heap)

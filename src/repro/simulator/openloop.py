@@ -26,6 +26,7 @@ import random
 import warnings
 from typing import Optional
 
+from repro.perf.variates import exponential_sampler
 from repro.platforms.platform import Platform
 from repro.simulator.engine import Simulation
 from repro.simulator.resources import Resource
@@ -71,6 +72,10 @@ class OpenLoopSimulator:
         """Generate arrivals until the measurement window completes."""
         sim = Simulation()
         rng = random.Random(self._config.seed)
+        # Stream-identical fast path for rng.expovariate: the arrival
+        # stream shares the generator with workload sampling, so draws
+        # must consume exactly the same uniforms as the naive code.
+        sample_exp = exponential_sampler(rng)
         platform = self._platform
         profile = self._profile
 
@@ -95,7 +100,7 @@ class OpenLoopSimulator:
         def schedule_arrival() -> None:
             if state["done"]:
                 return
-            delay = rng.expovariate(self._rate_per_ms)
+            delay = sample_exp(self._rate_per_ms)
             sim.schedule(delay, arrive)
 
         def arrive() -> None:

@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Protocol
 
+from repro.perf.variates import exponential_sampler
 from repro.platforms.platform import Platform
 from repro.simulator.engine import Simulation
 from repro.simulator.resources import Resource
@@ -127,6 +128,9 @@ class ServerSimulator:
         """Execute the closed-loop simulation and return measurements."""
         sim = Simulation()
         rng = random.Random(self._config.seed)
+        # Stream-identical fast path for rng.expovariate (same values,
+        # same generator state, no per-draw method dispatch).
+        sample_exp = exponential_sampler(rng)
         platform = self._platform
         profile = self._profile
 
@@ -146,7 +150,7 @@ class ServerSimulator:
             if state.done:
                 return
             think = (
-                rng.expovariate(1.0 / profile.think_time_ms)
+                sample_exp(1.0 / profile.think_time_ms)
                 if profile.think_time_ms > 0
                 else 0.0
             )
@@ -253,13 +257,16 @@ class ServerSimulator:
         )
 
 
-@dataclass
 class _MeasureState:
-    """Mutable counters shared by the simulation callbacks."""
+    """Mutable counters shared by the simulation callbacks (slotted)."""
 
-    warmup: int
-    target: int
-    completions: int = 0
-    window_start: float = 0.0
-    window_end: float = 0.0
-    done: bool = False
+    __slots__ = ("warmup", "target", "completions", "window_start",
+                 "window_end", "done")
+
+    def __init__(self, warmup: int, target: int):
+        self.warmup = warmup
+        self.target = target
+        self.completions = 0
+        self.window_start = 0.0
+        self.window_end = 0.0
+        self.done = False

@@ -33,6 +33,26 @@ _MIN_GAIN = 0.02
 #: Hard cap on client population explored by the driver.
 _MAX_POPULATION = 4096
 
+#: Cross-instance memo of simulated operating points.  The experiments
+#: re-sweep the same (platform, workload) pairs -- table2, figure2,
+#: table3, figure5, and validation all re-evaluate srvr1 -- and every
+#: operating point is a pure function of (platform, workload profile,
+#: population, measurement config, memory slowdown), so re-running the
+#: DES for a key already simulated in this process reproduces the same
+#: ``SimResult`` bit for bit.  Runs with a custom disk model (stateful:
+#: flash caches fail and recover) or unhashable parameters bypass the
+#: memo.  Values must be treated as read-only, which every caller does.
+_SIM_MEMO: Dict[tuple, SimResult] = {}
+
+#: Analytic warm-start estimates, memoized per (platform, profile).
+_ESTIMATE_MEMO: Dict[tuple, int] = {}
+
+
+def clear_sweep_memo() -> None:
+    """Drop all memoized sweep results (for tests and benchmarks)."""
+    _SIM_MEMO.clear()
+    _ESTIMATE_MEMO.clear()
+
 
 @dataclass
 class SweepResult:
@@ -73,16 +93,41 @@ class QosSweep:
         """All operating points simulated so far (population -> result)."""
         return dict(self._cache)
 
+    def _memo_key(self, population: int) -> Optional[tuple]:
+        """Process-wide memo key, or None when memoization is unsafe."""
+        if self._disk_model is not None:
+            # Disk models can carry state across requests (flash caches
+            # fail/recover) and are not part of a hashable key.
+            return None
+        key = (
+            self._platform,
+            self._workload.profile,
+            population,
+            self._config,
+            self._memory_slowdown,
+        )
+        try:
+            hash(key)
+        except TypeError:  # pragma: no cover - defensive
+            return None
+        return key
+
     def _simulate(self, population: int) -> SimResult:
         if population not in self._cache:
-            self._cache[population] = ServerSimulator(
-                self._platform,
-                self._workload,
-                population=population,
-                config=self._config,
-                disk_model=self._disk_model,
-                memory_slowdown=self._memory_slowdown,
-            ).run()
+            key = self._memo_key(population)
+            result = _SIM_MEMO.get(key) if key is not None else None
+            if result is None:
+                result = ServerSimulator(
+                    self._platform,
+                    self._workload,
+                    population=population,
+                    config=self._config,
+                    disk_model=self._disk_model,
+                    memory_slowdown=self._memory_slowdown,
+                ).run()
+                if key is not None:
+                    _SIM_MEMO[key] = result
+            self._cache[population] = result
         return self._cache[population]
 
     def _max_population(self) -> int:
@@ -90,13 +135,28 @@ class QosSweep:
         return min(cap, _MAX_POPULATION) if cap is not None else _MAX_POPULATION
 
     def _initial_population(self) -> int:
-        """Analytic warm start: population that saturates the bottleneck."""
+        """Analytic warm start: population that saturates the bottleneck.
+
+        Memoized per (platform, profile): sweeps over the same pair --
+        or over same-family platform variants sharing the cap -- reuse
+        the estimate instead of rebuilding the analytic model.
+        """
+        try:
+            key: Optional[tuple] = (self._platform, self._workload.profile)
+            hash(key)
+        except TypeError:  # pragma: no cover - defensive
+            key = None
+        if key is not None and key in _ESTIMATE_MEMO:
+            return _ESTIMATE_MEMO[key]
         model = AnalyticServerModel(self._platform, self._workload)
         saturation = model.saturation_rps() / 1000.0  # per ms
         demands = sum(d for d, _ in model.service_demands())
         think = self._workload.profile.think_time_ms
         estimate = int(saturation * (think + demands)) or 1
-        return max(2, min(estimate, self._max_population()))
+        initial = max(2, min(estimate, self._max_population()))
+        if key is not None:
+            _ESTIMATE_MEMO[key] = initial
+        return initial
 
     def find_peak(self) -> SweepResult:
         """Run the adaptive search and return the best operating point."""

@@ -105,16 +105,33 @@ class LatencyHistogram:
         ]
 
 
-@dataclass
 class TimeSeries:
-    """Fixed-width time buckets accumulating a value (e.g. completions)."""
+    """Fixed-width time buckets accumulating a value (e.g. completions).
 
-    bucket_ms: float
+    A slotted plain class (not a dataclass): :meth:`record` sits on the
+    cluster simulator's per-completion hot path, and slots keep the
+    instance small and its attribute loads cheap.  Equality compares
+    content (width and buckets), which the old field-only dataclass
+    ``__eq__`` did not.
+    """
 
-    def __post_init__(self) -> None:
-        if self.bucket_ms <= 0:
+    __slots__ = ("bucket_ms", "_buckets")
+
+    def __init__(self, bucket_ms: float):
+        if bucket_ms <= 0:
             raise ValueError("bucket width must be positive")
+        self.bucket_ms = bucket_ms
         self._buckets: Dict[int, float] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimeSeries(bucket_ms={self.bucket_ms!r}, buckets={len(self._buckets)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (
+            self.bucket_ms == other.bucket_ms and self._buckets == other._buckets
+        )
 
     def record(self, time_ms: float, value: float = 1.0) -> None:
         if time_ms < 0:

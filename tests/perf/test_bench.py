@@ -1,0 +1,71 @@
+"""Smoke tests of the benchmark harness and its regression gate."""
+
+import copy
+
+import pytest
+
+from repro.perf import bench
+
+
+@pytest.fixture(scope="module")
+def document():
+    # Tiny workloads: this checks plumbing, not statistics.
+    return bench.run_benchmarks(quick=True, e2e=False, jobs=1)
+
+
+class TestHarness:
+    def test_document_shape(self, document):
+        assert document["schema"] == 1
+        assert document["quick"] is True
+        assert {
+            "engine_ping",
+            "engine_churn",
+            "engine_batch",
+            "alloc_request_state",
+            "alloc_attempt",
+            "cluster_surge",
+        } <= set(document["results"])
+
+    def test_headline_present_and_positive(self, document):
+        headline = document["headline"]
+        assert headline["metric"] == "engine_churn/events_per_sec"
+        assert headline["events_per_sec"] > 0
+        assert headline["speedup_vs_legacy"] > 0
+
+    def test_engine_beats_legacy_on_timer_churn(self, document):
+        # The acceptance criterion proper (>= 1.5x) is measured in full
+        # mode; quick mode just guards against outright regressions.
+        churn = document["results"]["engine_churn"]
+        assert churn["speedup_vs_legacy"] > 1.0
+
+    def test_slots_shrink_hot_records(self, document):
+        for record in ("alloc_request_state", "alloc_attempt"):
+            metrics = document["results"][record]
+            assert metrics["slotted_bytes_per_obj"] < metrics["dict_bytes_per_obj"]
+
+
+class TestRegressionGate:
+    def test_passes_against_self(self, document):
+        assert bench.check_regression(document, document) == []
+
+    def test_flags_large_slowdown(self, document):
+        slowed = copy.deepcopy(document)
+        slowed["headline"]["speedup_vs_legacy"] = (
+            document["headline"]["speedup_vs_legacy"] * (1 - bench.REGRESSION_TOLERANCE) * 0.9
+        )
+        failures = bench.check_regression(slowed, document)
+        assert failures and "regressed" in failures[0]
+
+    def test_tolerates_small_noise(self, document):
+        noisy = copy.deepcopy(document)
+        noisy["headline"]["speedup_vs_legacy"] = (
+            document["headline"]["speedup_vs_legacy"] * 0.9
+        )
+        assert bench.check_regression(noisy, document) == []
+
+    def test_improvement_never_fails(self, document):
+        faster = copy.deepcopy(document)
+        faster["headline"]["speedup_vs_legacy"] = (
+            document["headline"]["speedup_vs_legacy"] * 2.0
+        )
+        assert bench.check_regression(faster, document) == []

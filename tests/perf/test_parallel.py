@@ -1,0 +1,98 @@
+"""Parallel fan-out: order preservation, nesting guard, cached runs."""
+
+import pytest
+
+import repro.perf.parallel as parallel_module
+from repro.perf.cache import ResultCache
+from repro.perf.parallel import (
+    chunked,
+    default_jobs,
+    in_worker,
+    intra_jobs,
+    pmap,
+    run_experiments,
+    set_intra_jobs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestPmap:
+    def test_serial_path_matches_comprehension(self):
+        assert pmap(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_preserves_input_order(self):
+        items = list(range(20))
+        assert pmap(_square, items, jobs=4) == [x * x for x in items]
+
+    def test_single_item_runs_inline(self):
+        assert pmap(_square, [7], jobs=8) == [49]
+
+    def test_worker_flag_forces_serial(self, monkeypatch):
+        monkeypatch.setattr(parallel_module, "_IN_WORKER", True)
+        assert in_worker()
+        assert pmap(_square, [1, 2, 3], jobs=4) == [1, 4, 9]
+
+    def test_empty_input(self):
+        assert pmap(_square, [], jobs=4) == []
+
+
+class TestIntraJobs:
+    def test_set_and_read(self):
+        try:
+            set_intra_jobs(3)
+            assert intra_jobs() == 3
+        finally:
+            set_intra_jobs(1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            set_intra_jobs(0)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert list(chunked([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert list(chunked([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+
+class TestRunExperiments:
+    # table1 is analytic-only and fast; a good smoke target.
+    def test_results_in_request_order(self):
+        results = run_experiments(["table2", "table1"], jobs=1)
+        assert [name for name, _ in results] == ["table2", "table1"]
+        assert all(result is not None for _, result in results)
+
+    def test_cache_hit_skips_recompute(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        first = run_experiments(["table1"], jobs=1, cache=cache)
+        calls = []
+        import repro.experiments.runner as runner_module
+
+        real = runner_module.run_experiment
+
+        def counting(name, method="sim", **kw):
+            calls.append(name)
+            return real(name, method=method, **kw)
+
+        monkeypatch.setattr(runner_module, "run_experiment", counting)
+        second = run_experiments(["table1"], jobs=1, cache=cache)
+        assert calls == []
+        assert first[0][1].payload_digest() == second[0][1].payload_digest()
+
+    def test_overrides_produce_distinct_cache_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key("availability", {})
+        tweaked = cache.key("availability", {"servers": 3})
+        assert base != tweaked

@@ -1,0 +1,72 @@
+"""Cross-instance sweep memoization must be invisible in SweepResult."""
+
+import pytest
+
+import repro.simulator.sweep as sweep_module
+from repro.platforms.catalog import platform
+from repro.simulator.server_sim import SimConfig
+from repro.simulator.sweep import QosSweep, clear_sweep_memo
+
+
+@pytest.fixture
+def config():
+    return SimConfig(warmup_requests=50, measure_requests=300, seed=9)
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_sweep_memo()
+    yield
+    clear_sweep_memo()
+
+
+def _count_runs(monkeypatch):
+    """Patch ServerSimulator.run to count actual simulations."""
+    calls = []
+    real_run = sweep_module.ServerSimulator.run
+
+    def counting(self):
+        calls.append(1)
+        return real_run(self)
+
+    monkeypatch.setattr(sweep_module.ServerSimulator, "run", counting)
+    return calls
+
+
+class TestSweepMemo:
+    def test_second_sweep_identical_without_resimulating(self, config, monkeypatch):
+        calls = _count_runs(monkeypatch)
+        first = QosSweep(platform("desk"), _webmail(), config=config).find_peak()
+        cold_runs = len(calls)
+        assert cold_runs > 0
+        second = QosSweep(platform("desk"), _webmail(), config=config).find_peak()
+        assert len(calls) == cold_runs  # every point came from the memo
+        assert second.best == first.best
+        assert second.population == first.population
+        assert second.evaluations == first.evaluations
+
+    def test_clear_forces_resimulation(self, config, monkeypatch):
+        calls = _count_runs(monkeypatch)
+        QosSweep(platform("desk"), _webmail(), config=config).find_peak()
+        cold_runs = len(calls)
+        clear_sweep_memo()
+        QosSweep(platform("desk"), _webmail(), config=config).find_peak()
+        assert len(calls) == 2 * cold_runs
+
+    def test_distinct_platforms_do_not_collide(self, config):
+        a = QosSweep(platform("desk"), _webmail(), config=config).find_peak()
+        b = QosSweep(platform("srvr2"), _webmail(), config=config).find_peak()
+        assert a.best != b.best
+
+    def test_memory_slowdown_part_of_key(self, config):
+        base = QosSweep(platform("desk"), _webmail(), config=config).find_peak()
+        slowed = QosSweep(
+            platform("desk"), _webmail(), config=config, memory_slowdown=2.0
+        ).find_peak()
+        assert slowed.best != base.best
+
+
+def _webmail():
+    from repro.workloads.suite import make_workload
+
+    return make_workload("webmail")
