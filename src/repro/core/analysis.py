@@ -32,7 +32,7 @@ def _measure_one(task: Tuple[Design, str, str, SimConfig]) -> float:
         workload,
         config=config,
         disk_model=design.disk_model_for(bench),
-        memory_slowdown=design.memory_slowdown,
+        memory_slowdown=design.memory_slowdown_for(bench),
         method=method,
     )
     return result.score

@@ -72,6 +72,10 @@ class BaselineDesign:
     def memory_slowdown(self) -> float:
         return 1.0
 
+    def memory_slowdown_for(self, benchmark: str) -> float:
+        """Per-benchmark slowdown multiplier (baselines never page)."""
+        return 1.0
+
     def disk_model_for(self, workload_name: str):
         """Simulator disk model override (None = platform default)."""
         return None
@@ -91,6 +95,9 @@ class UnifiedDesign:
     memory_scheme: Optional[ProvisioningScheme] = None
     disk_config: Optional[DiskConfiguration] = None
     description: str = ""
+    #: Measure the paging slowdown per benchmark from its exact-LRU
+    #: miss-ratio curve instead of assuming the paper's uniform 2%.
+    measured_memory: bool = False
 
     @property
     def platform(self) -> Platform:
@@ -100,6 +107,29 @@ class UnifiedDesign:
     def memory_slowdown(self) -> float:
         """Uniform CPU slowdown from remote-memory paging (paper: 2%)."""
         return 1.0 + ASSUMED_SLOWDOWN if self.memory_scheme else 1.0
+
+    def memory_slowdown_for(self, benchmark: str) -> float:
+        """Per-benchmark slowdown multiplier.
+
+        Default: the paper's assumed uniform slowdown.  With
+        ``measured_memory`` set, benchmarks that have a page-trace spec
+        use the slowdown measured off their memoized LRU miss-ratio
+        curve at this scheme's local fraction (exact-LRU lower bracket,
+        PCIe x4 latency); benchmarks without a trace keep the assumed
+        value.
+        """
+        if self.memory_scheme is None:
+            return 1.0
+        if not self.measured_memory:
+            return self.memory_slowdown
+        from repro.memsim.trace import WORKLOAD_TRACES
+        from repro.memsim.twolevel import measured_slowdown
+
+        if benchmark not in WORKLOAD_TRACES:
+            return self.memory_slowdown
+        return 1.0 + measured_slowdown(
+            benchmark, self.memory_scheme.local_fraction
+        )
 
     def disk_model_for(self, workload_name: str):
         if self.disk_config is None:

@@ -10,6 +10,7 @@ harmonic-mean Perf/TCO-$ (vs srvr1) of every variant.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List
 
 from repro.cooling.enclosure import AGGREGATED_MICROBLADE, CONVENTIONAL_ENCLOSURE
@@ -22,10 +23,16 @@ from repro.simulator.server_sim import SimConfig
 from repro.workloads.suite import benchmark_names
 
 
-def ablated_designs() -> List[UnifiedDesign]:
-    """N2 plus four leave-one-out variants."""
+def ablated_designs(measured_memory: bool = False) -> List[UnifiedDesign]:
+    """N2 plus four leave-one-out variants.
+
+    ``measured_memory`` swaps the paper's assumed uniform 2% paging
+    slowdown for per-benchmark slowdowns measured off each workload's
+    exact-LRU miss-ratio curve (one memoized trace pass per workload;
+    see ``repro.perf.kernels``).
+    """
     full = n2_design()
-    return [
+    designs = [
         full,
         UnifiedDesign(
             name="N2-no-embedded",
@@ -60,11 +67,21 @@ def ablated_designs() -> List[UnifiedDesign]:
             description="N2 with local desktop disks",
         ),
     ]
+    if measured_memory:
+        designs = [
+            replace(d, measured_memory=True) if d.memory_scheme else d
+            for d in designs
+        ]
+    return designs
 
 
-def run(method: str = "sim", config: SimConfig = SimConfig()) -> ExperimentResult:
+def run(
+    method: str = "sim",
+    config: SimConfig = SimConfig(),
+    measured_memory: bool = False,
+) -> ExperimentResult:
     """Evaluate N2 and its leave-one-out variants against srvr1."""
-    designs = [baseline_design("srvr1"), *ablated_designs()]
+    designs = [baseline_design("srvr1"), *ablated_designs(measured_memory)]
     evaluation = evaluate_designs(
         designs, benchmark_names(), baseline="srvr1", method=method, config=config
     )

@@ -111,6 +111,11 @@ class _TunedSlowdown:
     def memory_slowdown(self) -> float:
         return 1.0 + self._slowdown
 
+    def memory_slowdown_for(self, benchmark: str) -> float:
+        # Override the wrapped design's per-benchmark hook too, or the
+        # tuned slowdown would be lost through __getattr__ delegation.
+        return self.memory_slowdown
+
 
 def run(method: str = "sim", config: SimConfig = SimConfig()) -> ExperimentResult:
     """Evaluate the cumulative future-work steps."""

@@ -4,11 +4,15 @@
   to 1.0 and our results are qualitatively similar."
 - Electricity tariff: "there is a wide variation possible in the
   electricity tariff rate (from $50/MWHr to $170/MWhr)".
+- Local-memory fraction: how fast does the section 3.4 paging slowdown
+  grow as local memory shrinks below the paper's 25% operating point?
 
-This experiment sweeps both knobs and reports the Perf/TCO-$ advantage of
-desk and emb1 over srvr1 (harmonic mean over the suite) at each setting.
-Performance does not depend on these knobs, so one performance matrix is
-reused across the sweep.
+This experiment sweeps the knobs and reports the Perf/TCO-$ advantage of
+desk and emb1 over srvr1 (harmonic mean over the suite) at each cost
+setting.  Performance does not depend on the cost knobs, so one
+performance matrix is reused across those sweeps; the local-fraction
+sweep reads every fraction off one exact-LRU miss-ratio curve per
+workload (one trace pass each; ``repro.perf.kernels``).
 """
 
 from __future__ import annotations
@@ -21,6 +25,12 @@ from repro.costmodel.catalog import server_bill
 from repro.costmodel.power import PowerModel
 from repro.costmodel.tco import TcoModel
 from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.memsim.trace import WORKLOAD_TRACES
+from repro.memsim.twolevel import (
+    PCIE_X4_PAGE_LATENCY_US,
+    lru_fraction_sweep,
+    slowdown_fraction,
+)
 from repro.simulator.performance import relative_performance_matrix
 from repro.simulator.server_sim import SimConfig
 from repro.workloads.suite import benchmark_names
@@ -28,6 +38,10 @@ from repro.workloads.suite import benchmark_names
 ACTIVITY_FACTORS = (0.5, 0.625, 0.75, 0.875, 1.0)
 TARIFFS_USD_PER_MWH = (50.0, 100.0, 170.0)
 COMPARED_SYSTEMS = ("desk", "emb1")
+#: Local-memory fractions around the paper's 25% operating point.
+LOCAL_FRACTION_SWEEP = (0.5, 0.25, 0.125, 0.0625)
+#: Trace length for the memory sweep (matches the remote-memory model).
+MEMORY_TRACE_LENGTH = 200_000
 
 
 def _tco(
@@ -60,6 +74,27 @@ def perf_tco_advantages(
     return out
 
 
+def local_fraction_slowdowns(
+    fractions: Sequence[float] = LOCAL_FRACTION_SWEEP,
+    trace_length: int = MEMORY_TRACE_LENGTH,
+) -> Dict[str, Dict[float, float]]:
+    """PCIe paging slowdown per workload across local-memory fractions.
+
+    All fractions for one workload come off a single memoized
+    miss-ratio-curve pass (exact LRU, the implementable lower bracket).
+    """
+    out: Dict[str, Dict[float, float]] = {}
+    for name, spec in WORKLOAD_TRACES.items():
+        sweep = lru_fraction_sweep(spec, fractions, trace_length=trace_length)
+        out[name] = {
+            fraction: slowdown_fraction(
+                stats.miss_rate, spec.touches_per_ms, PCIE_X4_PAGE_LATENCY_US
+            )
+            for fraction, stats in sweep.items()
+        }
+    return out
+
+
 def run(method: str = "sim", config: SimConfig = SimConfig()) -> ExperimentResult:
     """Sweep activity factor and tariff; report Perf/TCO-$ advantages."""
     systems = ["srvr1", *COMPARED_SYSTEMS]
@@ -86,6 +121,17 @@ def run(method: str = "sim", config: SimConfig = SimConfig()) -> ExperimentResul
         rows.append([f"${tariff:.0f}/MWh"] + [percent(adv[s]) for s in COMPARED_SYSTEMS])
     sections["tariff sweep (activity factor 0.75)"] = format_table(
         ["Tariff"] + [f"{s} vs srvr1" for s in COMPARED_SYSTEMS], rows
+    )
+
+    memory = local_fraction_slowdowns()
+    data["local_fraction"] = memory
+    rows = [
+        [name] + [f"{memory[name][f] * 100:.2f}%" for f in LOCAL_FRACTION_SWEEP]
+        for name in memory
+    ]
+    sections["local-memory-fraction sweep (LRU, PCIe x4)"] = format_table(
+        ["Workload"] + [f"{f * 100:g}% local" for f in LOCAL_FRACTION_SWEEP],
+        rows,
     )
 
     return ExperimentResult(

@@ -27,13 +27,22 @@ This package reproduces the paper's evaluation:
   study: why per-server peak sizing overprovisions.
 """
 
-from repro.memsim.trace import PageTraceSpec, WORKLOAD_TRACES, generate_trace
+from repro.memsim.trace import (
+    PageTraceSpec,
+    WORKLOAD_TRACES,
+    cached_trace,
+    generate_trace,
+    trace_chunks,
+)
 from repro.memsim.replacement import LruPolicy, RandomPolicy, ReplacementPolicy
 from repro.memsim.twolevel import (
     MissStats,
     TwoLevelMemorySimulator,
     PCIE_X4_PAGE_LATENCY_US,
     CBF_PAGE_LATENCY_US,
+    lru_fraction_sweep,
+    lru_miss_curve,
+    measured_slowdown,
     slowdown_fraction,
 )
 from repro.memsim.blade import MemoryBlade, BladeAllocation
@@ -42,6 +51,7 @@ from repro.memsim.provisioning import (
     STATIC_PARTITIONING,
     DYNAMIC_PROVISIONING,
     provisioned_memory_spec,
+    scheme_performance_ratio,
 )
 from repro.memsim.sharing import (
     CompressionModel,
@@ -55,7 +65,13 @@ from repro.memsim.remote_memory import RemoteMemoryModel, make_remote_memory_mod
 __all__ = [
     "PageTraceSpec",
     "WORKLOAD_TRACES",
+    "cached_trace",
     "generate_trace",
+    "trace_chunks",
+    "lru_fraction_sweep",
+    "lru_miss_curve",
+    "measured_slowdown",
+    "scheme_performance_ratio",
     "LruPolicy",
     "RandomPolicy",
     "ReplacementPolicy",

@@ -80,6 +80,33 @@ DYNAMIC_PROVISIONING = ProvisioningScheme(
 )
 
 
+def scheme_performance_ratio(
+    scheme: ProvisioningScheme,
+    workload: str | None = None,
+    latency_us: float | None = None,
+    trace_length: int | None = None,
+) -> float:
+    """Performance ratio ``1 / (1 + slowdown)`` under a scheme.
+
+    With no workload this is the paper's uniform assumed 2% slowdown
+    (the Figure 4(c) evaluation).  Given a workload name, the slowdown
+    is instead *measured* from that workload's exact-LRU miss-ratio
+    curve at the scheme's local fraction -- one memoized trace pass per
+    workload, so sweeping schemes or workloads costs nothing extra.
+    """
+    if workload is None:
+        return 1.0 / (1.0 + ASSUMED_SLOWDOWN)
+    # Imported here: twolevel sits above this module in the memsim stack.
+    from repro.memsim.twolevel import PCIE_X4_PAGE_LATENCY_US, measured_slowdown
+
+    if latency_us is None:
+        latency_us = PCIE_X4_PAGE_LATENCY_US
+    slowdown = measured_slowdown(
+        workload, scheme.local_fraction, latency_us, trace_length
+    )
+    return 1.0 / (1.0 + slowdown)
+
+
 def provisioned_memory_spec(
     baseline_memory: ComponentSpec, scheme: ProvisioningScheme
 ) -> ComponentSpec:

@@ -102,7 +102,12 @@ def make_remote_memory_model(
     policy: str = "random",
     trace_length: int | None = None,
 ) -> RemoteMemoryModel:
-    """Build a model with the miss rate measured by the trace simulator."""
+    """Build a model with the miss rate measured by the trace simulator.
+
+    ``policy="lru"`` reads the rate off the workload's memoized
+    single-pass miss-ratio curve (``repro.perf.kernels``); the default
+    random policy keeps the scalar bracketing replay.
+    """
     try:
         spec = WORKLOAD_TRACES[workload_name]
     except KeyError as exc:

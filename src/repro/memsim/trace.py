@@ -25,7 +25,8 @@ the property tests check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from functools import lru_cache
+from typing import Dict, Iterator
 
 import numpy as np
 
@@ -126,3 +127,32 @@ def generate_trace(
         trace[mask] = seq_pages
     trace[~mask] = zipf_pages
     return trace
+
+
+@lru_cache(maxsize=8)
+def cached_trace(spec: PageTraceSpec, length: int, seed: int = 0) -> np.ndarray:
+    """Memoized :func:`generate_trace` (figure4/ablation/sensitivity all
+    replay the same ``(spec, length, seed)`` traces across policies,
+    fractions, and experiments).  The returned array is shared between
+    callers and therefore marked read-only; copy before mutating.
+    """
+    trace = generate_trace(spec, length, seed=seed)
+    trace.setflags(write=False)
+    return trace
+
+
+def trace_chunks(
+    spec: PageTraceSpec, length: int, seed: int = 0, chunk: int = 65536
+) -> Iterator[np.ndarray]:
+    """The trace as a sequence of read-only batches.
+
+    Scalar consumers (the Random-policy bracketing path, external
+    tooling) can stream batches instead of holding ``length`` pages
+    live, while still reading the *identical* access stream: chunks are
+    views of the one memoized trace.
+    """
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    trace = cached_trace(spec, length, seed=seed)
+    for start in range(0, length, chunk):
+        yield trace[start:start + chunk]

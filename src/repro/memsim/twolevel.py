@@ -20,10 +20,12 @@ is the fraction of extra execution time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-
+from functools import lru_cache
+from typing import Dict, Sequence
 
 from repro.memsim.replacement import make_policy
-from repro.memsim.trace import PageTraceSpec, generate_trace
+from repro.memsim.trace import PageTraceSpec, WORKLOAD_TRACES, cached_trace
+from repro.perf.kernels import MissRatioCurve, miss_ratio_curve
 
 #: Remote page-transfer latencies (paper section 3.4).
 PCIE_X4_PAGE_LATENCY_US = 4.0
@@ -79,14 +81,40 @@ class TwoLevelMemorySimulator:
         self.seed = seed
         self.local_capacity = max(1, int(spec.footprint_pages * local_fraction))
 
-    def run(self, trace_length: int | None = None) -> MissStats:
-        """Simulate the trace; warmup (first footprint-fill pass) excluded."""
+    def run(self, trace_length: int | None = None, engine: str = "auto") -> MissStats:
+        """Simulate the trace; warmup (first footprint-fill pass) excluded.
+
+        ``engine`` selects the implementation: ``"auto"`` (default) uses
+        the single-pass stack-distance kernel for exact-LRU runs and the
+        scalar replay otherwise; ``"kernel"`` demands the kernel (errors
+        for non-LRU policies); ``"scalar"`` forces the oracle loop.  The
+        two are bit-identical for LRU (``tests/perf/test_kernels.py``).
+        """
+        if engine not in ("auto", "kernel", "scalar"):
+            raise ValueError(f"unknown engine {engine!r}")
         length = (
             trace_length
             if trace_length is not None
             else self.spec.footprint_pages * _TRACE_PASSES
         )
-        trace = generate_trace(self.spec, length, seed=self.seed)
+        if self.policy_name == "lru" and engine != "scalar":
+            counts = lru_miss_curve(self.spec, length, self.seed).counts(
+                self.local_capacity
+            )
+            return MissStats(
+                accesses=counts.accesses, misses=counts.misses,
+                local_capacity_pages=self.local_capacity,
+                writebacks=counts.writebacks,
+            )
+        if engine == "kernel":
+            raise ValueError(
+                f"kernel engine requires exact LRU, not {self.policy_name!r}"
+            )
+        return self._run_scalar(length)
+
+    def _run_scalar(self, length: int) -> MissStats:
+        """Reference per-access replay (the oracle; also the Random path)."""
+        trace = cached_trace(self.spec, length, seed=self.seed)
         policy = make_policy(self.policy_name, self.local_capacity, seed=self.seed)
 
         warmup = min(self.spec.footprint_pages, length // 2)
@@ -121,3 +149,64 @@ class TwoLevelMemorySimulator:
         return slowdown_fraction(
             stats.miss_rate, self.spec.touches_per_ms, latency_us
         )
+
+
+@lru_cache(maxsize=16)
+def lru_miss_curve(
+    spec: PageTraceSpec, trace_length: int | None = None, seed: int = 0
+) -> MissRatioCurve:
+    """The workload's exact LRU miss-ratio curve (one pass, memoized).
+
+    Every local-fraction sweep over the same ``(spec, length, seed)``
+    reads all its capacities off this one curve instead of replaying the
+    trace per fraction.  Warmup matches ``TwoLevelMemorySimulator.run``.
+    """
+    length = (
+        trace_length
+        if trace_length is not None
+        else spec.footprint_pages * _TRACE_PASSES
+    )
+    trace = cached_trace(spec, length, seed=seed)
+    warmup = min(spec.footprint_pages, length // 2)
+    return miss_ratio_curve(trace, warmup=warmup)
+
+
+def lru_fraction_sweep(
+    spec: PageTraceSpec,
+    fractions: Sequence[float],
+    trace_length: int | None = None,
+    seed: int = 0,
+) -> Dict[float, MissStats]:
+    """Exact LRU :class:`MissStats` for many local fractions at once."""
+    curve = lru_miss_curve(spec, trace_length, seed)
+    out: Dict[float, MissStats] = {}
+    for fraction in fractions:
+        if not 0 < fraction <= 1:
+            raise ValueError("local fraction must be in (0, 1]")
+        capacity = max(1, int(spec.footprint_pages * fraction))
+        counts = curve.counts(capacity)
+        out[fraction] = MissStats(
+            accesses=counts.accesses, misses=counts.misses,
+            local_capacity_pages=capacity, writebacks=counts.writebacks,
+        )
+    return out
+
+
+def measured_slowdown(
+    workload: str,
+    local_fraction: float,
+    latency_us: float = PCIE_X4_PAGE_LATENCY_US,
+    trace_length: int | None = None,
+) -> float:
+    """Trace-measured slowdown fraction for a named workload under exact
+    LRU (the lower bracket), read off the memoized miss-ratio curve.
+
+    Raises ``KeyError`` for workloads without a trace spec -- callers
+    that model unlisted benchmarks should fall back to the paper's
+    assumed slowdown (see ``provisioning.ASSUMED_SLOWDOWN``).
+    """
+    spec = WORKLOAD_TRACES[workload]
+    stats = lru_fraction_sweep(
+        spec, (local_fraction,), trace_length=trace_length
+    )[local_fraction]
+    return slowdown_fraction(stats.miss_rate, spec.touches_per_ms, latency_us)

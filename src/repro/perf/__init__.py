@@ -10,11 +10,24 @@ result:
   keyed on experiment name + parameters + a source fingerprint;
 - :mod:`repro.perf.variates` -- stream-identical fast exponential
   sampling for the DES hot paths;
+- :mod:`repro.perf.kernels` -- single-pass miss-ratio-curve kernels
+  (Mattson stack distances, vectorized) for the memory and flash trace
+  simulators;
 - :mod:`repro.perf.bench` -- the tracked benchmark harness behind
   ``repro-bench`` and ``BENCH_results.json``.
 """
 
 from repro.perf.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, ResultCache, code_fingerprint
+from repro.perf.kernels import (
+    FlashCounts,
+    FlashHitCurve,
+    MissCounts,
+    MissRatioCurve,
+    flash_hit_curve,
+    flash_replay,
+    miss_ratio_curve,
+    stack_distances,
+)
 from repro.perf.parallel import (
     default_jobs,
     in_worker,
@@ -38,4 +51,12 @@ __all__ = [
     "set_intra_jobs",
     "ExponentialBlock",
     "exponential_sampler",
+    "FlashCounts",
+    "FlashHitCurve",
+    "MissCounts",
+    "MissRatioCurve",
+    "flash_hit_curve",
+    "flash_replay",
+    "miss_ratio_curve",
+    "stack_distances",
 ]

@@ -87,3 +87,28 @@ class TestN2Design:
             / n2_design().tco_breakdown().total_usd
         )
         assert ratio > 6.0
+
+
+class TestMemorySlowdownFor:
+    def test_default_matches_uniform_assumption(self):
+        n2 = n2_design()
+        for bench in ("websearch", "webmail", "not-a-trace"):
+            assert n2.memory_slowdown_for(bench) == n2.memory_slowdown
+        n1 = n1_design()
+        assert n1.memory_slowdown_for("websearch") == 1.0
+        assert baseline_design("srvr1").memory_slowdown_for("websearch") == 1.0
+
+    def test_measured_mode_uses_trace_curve(self):
+        from dataclasses import replace
+
+        from repro.memsim.twolevel import measured_slowdown
+
+        measured = replace(n2_design(), measured_memory=True)
+        slowdown = measured.memory_slowdown_for("webmail")
+        expected = 1.0 + measured_slowdown(
+            "webmail", measured.memory_scheme.local_fraction
+        )
+        assert slowdown == expected
+        assert slowdown >= 1.0
+        # Benchmarks without a page trace keep the assumed uniform 2%.
+        assert measured.memory_slowdown_for("not-a-trace") == pytest.approx(1.02)

@@ -1,8 +1,28 @@
-"""Tests of the extension experiments (ablation, scale-out, diurnal)."""
+"""Tests of the extension experiments (ablation, sensitivity, diurnal)."""
 
 import pytest
 
-from repro.experiments import ablation, diurnal
+from repro.experiments import ablation, diurnal, sensitivity
+
+
+class TestSensitivityMemorySweep:
+    def test_slowdowns_grow_as_local_memory_shrinks(self):
+        table = sensitivity.local_fraction_slowdowns(trace_length=60_000)
+        assert set(table) == {
+            "websearch", "webmail", "ytube", "mapred-wc", "mapred-wr",
+        }
+        for workload, by_fraction in table.items():
+            ordered = [
+                by_fraction[f] for f in sorted(by_fraction, reverse=True)
+            ]
+            assert all(a <= b + 1e-12 for a, b in zip(ordered, ordered[1:])), workload
+            assert all(v >= 0 for v in ordered)
+
+    def test_run_includes_memory_sweep_section(self):
+        result = sensitivity.run(method="analytic")
+        assert "local-memory-fraction sweep (LRU, PCIe x4)" in result.sections
+        sweep = result.data["local_fraction"]
+        assert set(sweep["websearch"]) == set(sensitivity.LOCAL_FRACTION_SWEEP)
 
 
 class TestAblation:
@@ -29,6 +49,18 @@ class TestAblation:
             k: v for k, v in result.data["contributions"].items() if k != "N2"
         }
         assert max(contributions, key=contributions.get) == "N2-no-embedded"
+
+    def test_measured_memory_flag_propagates(self):
+        designs = ablation.ablated_designs(measured_memory=True)
+        for design in designs:
+            assert design.measured_memory == (design.memory_scheme is not None)
+        # Default stays off (the byte-identical assumed-2% path).
+        assert all(not d.measured_memory for d in ablation.ablated_designs())
+
+    def test_measured_memory_run_smoke(self):
+        result = ablation.run(method="analytic", measured_memory=True)
+        tco = result.data["tables"]["Perf/TCO-$"]
+        assert tco.hmean("N2") > 0
 
 
 class TestDiurnal:

@@ -24,6 +24,8 @@ class TestHarness:
             "alloc_request_state",
             "alloc_attempt",
             "cluster_surge",
+            "mrc_sweep",
+            "flash_replay",
         } <= set(document["results"])
 
     def test_headline_present_and_positive(self, document):
@@ -42,6 +44,13 @@ class TestHarness:
         for record in ("alloc_request_state", "alloc_attempt"):
             metrics = document["results"][record]
             assert metrics["slotted_bytes_per_obj"] < metrics["dict_bytes_per_obj"]
+
+    def test_kernels_beat_scalar_oracles(self, document):
+        # The >=5x acceptance criterion for mrc_sweep is measured in full
+        # mode; quick mode guards that the kernels win at all.  The
+        # section itself asserts counter equality before reporting.
+        assert document["results"]["mrc_sweep"]["speedup_vs_scalar"] > 1.0
+        assert document["results"]["flash_replay"]["speedup_vs_scalar"] > 1.0
 
 
 class TestRegressionGate:
@@ -69,3 +78,19 @@ class TestRegressionGate:
             document["headline"]["speedup_vs_legacy"] * 2.0
         )
         assert bench.check_regression(faster, document) == []
+
+    @pytest.mark.parametrize("key", ("mrc_sweep", "flash_replay"))
+    def test_flags_kernel_regression(self, document, key):
+        slowed = copy.deepcopy(document)
+        slowed["results"][key]["speedup_vs_scalar"] = (
+            document["results"][key]["speedup_vs_scalar"]
+            * (1 - bench.REGRESSION_TOLERANCE) * 0.9
+        )
+        failures = bench.check_regression(slowed, document)
+        assert failures and key in failures[0]
+
+    def test_old_baseline_without_kernel_entries_passes(self, document):
+        older = copy.deepcopy(document)
+        del older["results"]["mrc_sweep"]
+        del older["results"]["flash_replay"]
+        assert bench.check_regression(document, older) == []

@@ -1,0 +1,296 @@
+"""The vectorized trace kernels against their scalar oracles.
+
+The contract is *exactness*, not approximation: every counter the
+single-pass kernels report must equal the scalar replay bit for bit --
+on random traces and on every real workload trace the experiments use.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flashcache.cache import FlashCache
+from repro.memsim.replacement import LruPolicy
+from repro.memsim.trace import WORKLOAD_TRACES, cached_trace
+from repro.memsim.twolevel import (
+    TwoLevelMemorySimulator,
+    lru_fraction_sweep,
+    lru_miss_curve,
+)
+from repro.perf.kernels import (
+    FIRST_TOUCH,
+    _flash_replay_scalar,
+    flash_hit_curve,
+    flash_replay,
+    miss_ratio_curve,
+    prev_greater_counts,
+    previous_occurrences,
+    stack_distances,
+)
+from repro.platforms.storage import FLASH_1GB
+
+#: Shortened trace for the workload-equality sweep (full Figure 4 runs
+#: are exercised in tests/experiments; the kernels are length-agnostic).
+TRACE_LENGTH = 60_000
+
+
+def _brute_distances(trace):
+    from collections import OrderedDict
+
+    stack = OrderedDict()
+    dist = np.zeros(len(trace), dtype=np.int64)
+    first = np.zeros(len(trace), dtype=bool)
+    for i, page in enumerate(trace):
+        page = int(page)
+        if page in stack:
+            dist[i] = list(reversed(stack.keys())).index(page) + 1
+            stack.move_to_end(page)
+        else:
+            dist[i] = FIRST_TOUCH
+            first[i] = True
+            stack[page] = None
+    return dist, first
+
+
+class TestPrimitives:
+    def test_previous_occurrences(self):
+        trace = np.array([3, 1, 3, 3, 1, 2], dtype=np.int64)
+        expected = np.array([-1, -1, 0, 2, 1, -1], dtype=np.int64)
+        assert np.array_equal(previous_occurrences(trace), expected)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_prev_greater_counts_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 300))
+        values = rng.integers(-1, 50, size=n).astype(np.int64)
+        expected = np.array(
+            [sum(1 for j in range(i) if values[j] > values[i]) for i in range(n)],
+            dtype=np.int64,
+        )
+        assert np.array_equal(prev_greater_counts(values), expected)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_prev_greater_counts_masked(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(1, 300))
+        values = rng.integers(-1, 50, size=n).astype(np.int64)
+        mask = rng.random(n) < 0.6
+        expected = np.array(
+            [
+                sum(1 for j in range(i) if mask[j] and values[j] > values[i])
+                for i in range(n)
+            ],
+            dtype=np.int64,
+        )
+        assert np.array_equal(prev_greater_counts(values, counted=mask), expected)
+
+    def test_empty_input(self):
+        assert prev_greater_counts(np.array([], dtype=np.int64)).size == 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_stack_distances_brute_force(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(1, 400))
+        trace = rng.integers(0, int(rng.integers(1, 40)), size=n).astype(np.int64)
+        dist, first = stack_distances(trace)
+        want_dist, want_first = _brute_distances(trace)
+        assert np.array_equal(first, want_first)
+        assert np.array_equal(dist, want_dist)
+
+    def test_distance_answers_lru_hits(self):
+        """dist[i] <= C iff the access hits an LRU cache of capacity C."""
+        rng = np.random.default_rng(5)
+        trace = rng.integers(0, 30, size=500).astype(np.int64)
+        dist, _ = stack_distances(trace)
+        for capacity in (1, 3, 7, 16, 40):
+            policy = LruPolicy(capacity)
+            hits = np.array([policy.access(int(p)) for p in trace])
+            assert np.array_equal(dist <= capacity, hits)
+
+
+class TestMissRatioCurve:
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_TRACES))
+    @pytest.mark.parametrize("fraction", (0.25, 0.125))
+    def test_exact_equality_with_scalar_simulator(self, workload, fraction):
+        """The tentpole contract: identical MissStats for every workload
+        x fraction the Figure 4 sweep evaluates."""
+        sim = TwoLevelMemorySimulator(
+            WORKLOAD_TRACES[workload], fraction, policy="lru"
+        )
+        kernel = sim.run(TRACE_LENGTH)
+        scalar = sim.run(TRACE_LENGTH, engine="scalar")
+        assert kernel == scalar
+
+    def test_miss_curve_monotonically_non_increasing(self):
+        spec = WORKLOAD_TRACES["webmail"]
+        curve = lru_miss_curve(spec, TRACE_LENGTH)
+        capacities = np.arange(1, spec.footprint_pages + 100, 37)
+        misses = curve.misses(capacities)
+        assert np.all(np.diff(misses) <= 0)
+        assert misses[-1] == 0  # cache bigger than the footprint
+
+    def test_eviction_curve_monotone_and_consistent(self):
+        curve = lru_miss_curve(WORKLOAD_TRACES["webmail"], TRACE_LENGTH)
+        capacities = np.arange(1, 20_000, 113)
+        evictions = curve.evictions(capacities)
+        assert np.all(np.diff(evictions) <= 0)
+        writebacks = curve.writebacks(capacities)
+        assert np.all(writebacks >= 0)
+        assert np.all(writebacks <= evictions)
+
+    def test_fraction_sweep_matches_individual_runs(self):
+        spec = WORKLOAD_TRACES["mapred-wc"]
+        fractions = (0.5, 0.25, 0.125, 0.0625)
+        sweep = lru_fraction_sweep(spec, fractions, trace_length=TRACE_LENGTH)
+        for fraction in fractions:
+            sim = TwoLevelMemorySimulator(spec, fraction, policy="lru")
+            assert sweep[fraction] == sim.run(TRACE_LENGTH, engine="scalar")
+
+    def test_random_policy_keeps_scalar_path(self):
+        """Random replacement has no stack property; the kernel engine
+        must refuse it rather than silently approximate."""
+        sim = TwoLevelMemorySimulator(
+            WORKLOAD_TRACES["webmail"], 0.25, policy="random"
+        )
+        with pytest.raises(ValueError, match="exact LRU"):
+            sim.run(10_000, engine="kernel")
+        assert sim.run(10_000) == sim.run(10_000, engine="scalar")
+
+    def test_unknown_engine_rejected(self):
+        sim = TwoLevelMemorySimulator(WORKLOAD_TRACES["webmail"], 0.25)
+        with pytest.raises(ValueError, match="engine"):
+            sim.run(10_000, engine="turbo")
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            miss_ratio_curve(np.array([1, 2, 3]), warmup=7)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_traces_any_warmup(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        n = int(rng.integers(20, 400))
+        trace = rng.integers(0, int(rng.integers(2, 50)), size=n).astype(np.int64)
+        warmup = int(rng.integers(0, n))
+        curve = miss_ratio_curve(trace, warmup=warmup)
+        for capacity in (1, 2, 5, 11, 29, 64):
+            policy = LruPolicy(capacity)
+            seen = set()
+            misses = 0
+            evictions_at_window = 0
+            for i, page in enumerate(trace):
+                page = int(page)
+                if i == warmup:
+                    evictions_at_window = policy.evictions
+                first_touch = page not in seen
+                seen.add(page)
+                hit = policy.access(page)
+                if i >= warmup and not hit and not first_touch:
+                    misses += 1
+            counts = curve.counts(capacity)
+            assert counts.misses == misses
+            assert counts.evictions == policy.evictions
+            assert counts.writebacks == policy.evictions - evictions_at_window
+
+
+class TestFlashKernels:
+    def _cache(self, capacity_objects):
+        # One object == one "GB" so capacity_objects is exact.
+        import dataclasses
+
+        device = dataclasses.replace(
+            FLASH_1GB, capacity_gb=float(capacity_objects)
+        )
+        return FlashCache(device, object_bytes=float(1 << 30))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hit_curve_equals_flashcache_on_read_stream(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        n = int(rng.integers(50, 800))
+        stream = rng.integers(0, int(rng.integers(5, 80)), size=n).astype(np.int64)
+        curve = flash_hit_curve(stream)
+        for capacity in (1, 3, 10, 40):
+            stats = self._cache(capacity).replay(stream)
+            counts = curve.counts(capacity)
+            assert counts.lookups == stats.lookups
+            assert counts.hits == stats.hits
+            assert counts.insertions == stats.insertions
+            assert counts.evictions == stats.evictions
+            assert counts.block_writes == stats.block_writes
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_flash_replay_equals_flashcache_with_writes(self, seed):
+        rng = np.random.default_rng(500 + seed)
+        n = int(rng.integers(50, 500))
+        stream = rng.integers(0, int(rng.integers(5, 60)), size=n).astype(np.int64)
+        writes = rng.random(n) < rng.uniform(0.0, 0.5)
+        for capacity in (2, 7, 25):
+            stats = self._cache(capacity).replay(stream, writes)
+            counts = flash_replay(stream, writes, capacity)
+            assert counts.lookups == stats.lookups
+            assert counts.hits == stats.hits
+            assert counts.insertions == stats.insertions
+            assert counts.evictions == stats.evictions
+            assert counts.block_writes == stats.block_writes
+
+    def test_flash_replay_fallback_is_exact(self):
+        """Force the scalar fallback (max_iterations=0 budget exhausted)
+        and check it matches the fixed-point path."""
+        rng = np.random.default_rng(9)
+        stream = rng.integers(0, 20, size=300).astype(np.int64)
+        writes = rng.random(300) < 0.3
+        fixed_point = flash_replay(stream, writes, 7)
+        fallback = flash_replay(stream, writes, 7, max_iterations=0)
+        assert fixed_point == fallback
+        assert fallback == _flash_replay_scalar(stream, writes, 7)
+
+    def test_flash_replay_validation(self):
+        with pytest.raises(ValueError):
+            flash_replay(np.array([1, 2]), np.array([False]), 4)
+        with pytest.raises(ValueError):
+            flash_replay(np.array([1, 2]), np.array([False, True]), 0)
+
+    def test_empty_stream(self):
+        counts = flash_replay(
+            np.array([], dtype=np.int64), np.array([], dtype=bool), 4
+        )
+        assert counts.lookups == 0 and counts.block_writes == 0
+
+
+class TestTraceMemoization:
+    def test_cached_trace_is_generate_trace(self):
+        from repro.memsim.trace import generate_trace
+
+        spec = WORKLOAD_TRACES["webmail"]
+        assert np.array_equal(
+            cached_trace(spec, 20_000, seed=3), generate_trace(spec, 20_000, seed=3)
+        )
+
+    def test_cached_trace_returns_same_object(self):
+        spec = WORKLOAD_TRACES["webmail"]
+        a = cached_trace(spec, 10_000, seed=0)
+        b = cached_trace(spec, 10_000, seed=0)
+        assert a is b
+
+    def test_cached_trace_is_read_only(self):
+        trace = cached_trace(WORKLOAD_TRACES["webmail"], 10_000, seed=0)
+        with pytest.raises(ValueError):
+            trace[0] = 1
+
+    def test_trace_chunks_reassemble_exactly(self):
+        from repro.memsim.trace import trace_chunks
+
+        spec = WORKLOAD_TRACES["webmail"]
+        chunks = list(trace_chunks(spec, 10_000, seed=1, chunk=1024))
+        assert sum(len(c) for c in chunks) == 10_000
+        assert np.array_equal(
+            np.concatenate(chunks), cached_trace(spec, 10_000, seed=1)
+        )
+
+    def test_trace_chunks_validation(self):
+        from repro.memsim.trace import trace_chunks
+
+        with pytest.raises(ValueError):
+            list(trace_chunks(WORKLOAD_TRACES["webmail"], 100, chunk=0))
+
+    def test_curve_memoized_across_callers(self):
+        spec = WORKLOAD_TRACES["webmail"]
+        assert lru_miss_curve(spec, 10_000) is lru_miss_curve(spec, 10_000)

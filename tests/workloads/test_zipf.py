@@ -2,11 +2,22 @@
 
 import random
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.workloads.zipf import ZipfSampler, discrete_sample, zipf_weights
+
+
+class _FixedUniform:
+    """random.Random stand-in returning a preset uniform draw."""
+
+    def __init__(self, value):
+        self._value = value
+
+    def random(self):
+        return self._value
 
 
 class TestZipfWeights:
@@ -65,6 +76,58 @@ class TestZipfSampler:
         rng = random.Random(seed)
         for _ in range(20):
             assert 0 <= sampler.sample(rng) < n
+
+    def test_cdf_tail_is_exactly_one(self):
+        sampler = ZipfSampler(1000, 1.2)
+        assert sampler._cdf[-1] == 1.0
+
+    @pytest.mark.parametrize("n", (1, 2, 7, 1000))
+    def test_tail_draw_stays_in_range(self, n):
+        """Regression: a uniform draw just below 1.0 (past any float
+        shortfall in the accumulated CDF) must map to rank n-1, never n."""
+        sampler = ZipfSampler(n, 1.1)
+        u = np.nextafter(1.0, 0.0)
+        assert sampler.sample(_FixedUniform(u)) == n - 1
+        batch = sampler.sample_many(3, _BatchFixedUniform(u))
+        assert np.all(batch == n - 1)
+
+
+class _BatchFixedUniform:
+    """numpy Generator stand-in returning a preset uniform draw."""
+
+    def __init__(self, value):
+        self._value = value
+
+    def random(self, size):
+        return np.full(size, self._value)
+
+
+class TestSampleMany:
+    def test_matches_scalar_for_same_uniform_draw(self):
+        sampler = ZipfSampler(500, 0.9)
+        rng = random.Random(7)
+        draws = [rng.random() for _ in range(200)]
+        scalar = [sampler.sample(_FixedUniform(u)) for u in draws]
+
+        class _Replay:
+            def random(self, size):
+                return np.asarray(draws[:size])
+
+        batch = sampler.sample_many(200, _Replay())
+        assert batch.tolist() == scalar
+
+    def test_batch_in_range_and_skewed(self):
+        sampler = ZipfSampler(100, 1.0)
+        batch = sampler.sample_many(20_000, np.random.default_rng(3))
+        assert batch.min() >= 0 and batch.max() < 100
+        top10 = float(np.mean(batch < 10))
+        assert top10 == pytest.approx(sampler.head_mass(10), abs=0.02)
+
+    def test_zero_size_and_validation(self):
+        sampler = ZipfSampler(10, 1.0)
+        assert sampler.sample_many(0, np.random.default_rng(0)).size == 0
+        with pytest.raises(ValueError):
+            sampler.sample_many(-1, np.random.default_rng(0))
 
 
 class TestDiscreteSample:
