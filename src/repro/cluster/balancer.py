@@ -69,6 +69,8 @@ from repro.cluster.overload import (
 from repro.faults.injector import FaultInjector
 from repro.faults.model import ComponentType, FaultProfile
 from repro.memsim.remote_memory import RemoteMemoryModel
+from repro.obs.span import SpanKind, Trace
+from repro.obs.tracer import record_stage, record_stage_parts
 from repro.perf.variates import exponential_sampler
 from repro.platforms.platform import Platform
 from repro.simulator.engine import Simulation
@@ -216,7 +218,10 @@ class _RequestState:
     :mod:`repro.perf.bench` tracks.
     """
 
-    __slots__ = ("demand", "start", "attempts", "finished", "hedged")
+    __slots__ = (
+        "demand", "start", "attempts", "finished", "hedged", "trace",
+        "trace_live",
+    )
 
     def __init__(self, demand, start: float):
         self.demand = demand
@@ -224,6 +229,12 @@ class _RequestState:
         self.attempts = 0
         self.finished = False
         self.hedged = False
+        #: Sampled :class:`repro.obs.Trace` (None when untraced).
+        self.trace = None
+        #: Attempt spans still in flight -- used to decide whether a
+        #: timeout wait sits on the critical path (it does not while a
+        #: hedge is still running).
+        self.trace_live = None
 
 
 class _Attempt:
@@ -323,6 +334,8 @@ class ClusterSimulator:
         arrivals: Optional[SurgeSchedule] = None,
         warmup_ms: float = 2000.0,
         measure_ms: float = 20_000.0,
+        tracer=None,
+        metrics=None,
     ):
         """``remote_memory`` attaches a shared memory blade: every request
         pays its expected remote-miss traffic on one blade-controller link
@@ -365,7 +378,15 @@ class ClusterSimulator:
         time.  Only requests *issued inside the window* are measured, so
         by construction goodput <= throughput <= offered load.  Shed or
         rejected requests are errors: they count toward offered load but
-        never enter the latency distribution."""
+        never enter the latency distribution.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records a span tree for
+        each sampled request -- queueing, CPU, memory, remote-memory
+        link, flash/disk, NIC, retries, sheds -- without consuming any
+        RNG state: traced and untraced runs of the same seed produce
+        identical :class:`ClusterResult` values.  ``metrics`` (a
+        :class:`repro.obs.MetricsRegistry`) collects labeled counters,
+        response histograms, and per-server gauges alongside."""
         if servers <= 0 or clients_per_server <= 0:
             raise ValueError("servers and clients_per_server must be positive")
         if enclosure_size <= 0:
@@ -432,6 +453,8 @@ class ClusterSimulator:
         self._arrivals = arrivals
         self._warmup_ms = warmup_ms
         self._measure_ms = measure_ms
+        self._tracer = tracer
+        self._metrics = metrics
 
     def _pick(
         self, servers: List[_Server], rr_state: Dict[str, int],
@@ -462,6 +485,11 @@ class ClusterSimulator:
         retry = self._retry
         policy = self._overload
         open_loop = self._arrivals is not None
+        tracer = self._tracer
+        metrics = self._metrics
+        # Request sequence number, the tracer's deterministic sampling
+        # key.  Only maintained when tracing is on.
+        rid = [0]
         servers = [
             _Server(sim, platform, self._disk_model_factory(), index)
             for index in range(self._servers)
@@ -575,6 +603,9 @@ class ClusterSimulator:
                 return
             request = self._workload.sample(rng)
             rs = _RequestState(request.demand, sim.now)
+            if tracer is not None:
+                rs.trace = tracer.begin(rid[0], sim.now)
+                rid[0] += 1
             if overload_report is not None:
                 overload_report.offered.record(sim.now)
             if _measurement_active():
@@ -586,8 +617,13 @@ class ClusterSimulator:
                 if verdict is not AdmissionVerdict.ADMIT:
                     if verdict is AdmissionVerdict.RATE_LIMITED:
                         overload_report.rate_limited += 1
+                        shed_name = "rate-limited"
                     else:
                         overload_report.shed_admission += 1
+                        shed_name = "admission-shed"
+                    if rs.trace is not None:
+                        rs.trace.event(SpanKind.SHED, sim.now, name=shed_name)
+                        rs.trace.close(sim.now, status="shed")
                     abandon()
                     return
             dispatch_request(rs)
@@ -612,7 +648,19 @@ class ClusterSimulator:
                 # Health check: nobody can serve right now.  Back off and
                 # re-probe; a repair or scripted recovery will unblock us.
                 report.all_down_waits += 1
-                sim.schedule(HEALTH_RECHECK_MS, lambda: dispatch_request(rs))
+                trace = rs.trace
+                if trace is not None and trace.status is None:
+                    wait = trace.start(
+                        SpanKind.RETRY, sim.now, name="health-wait"
+                    )
+
+                    def recheck(span=wait) -> None:
+                        Trace.finish(span, sim.now)
+                        dispatch_request(rs)
+
+                    sim.schedule(HEALTH_RECHECK_MS, recheck)
+                else:
+                    sim.schedule(HEALTH_RECHECK_MS, lambda: dispatch_request(rs))
                 return
             candidates = alive
             if breakers is not None:
@@ -634,6 +682,26 @@ class ClusterSimulator:
             rs.attempts += 1
             start_attempt(rs, self._pick(candidates, rr_state, rng))
 
+        def _schedule_backoff(rs: _RequestState, backoff: float) -> None:
+            """Re-dispatch after backoff, tracing the wait when sampled.
+
+            The backoff span is skipped while another attempt (a hedge)
+            is still live -- the request is not actually blocked on the
+            backoff then, and double-charging would push the trace's
+            ``other`` share negative.
+            """
+            trace = rs.trace
+            if trace is not None and trace.status is None and not rs.trace_live:
+                span = trace.start(SpanKind.RETRY, sim.now, name="backoff")
+
+                def redispatch() -> None:
+                    Trace.finish(span, sim.now)
+                    dispatch_request(rs)
+
+                sim.schedule(backoff, redispatch)
+            else:
+                sim.schedule(backoff, lambda: dispatch_request(rs))
+
         def retry_or_give_up(rs: _RequestState) -> None:
             """After a failed attempt: bounded, budgeted retry or give up."""
             if state["done"] or rs.finished:
@@ -641,8 +709,7 @@ class ClusterSimulator:
             if retry is not None and rs.attempts <= retry.max_retries:
                 if retry_budget is None or retry_budget.try_spend():
                     report.retries += 1
-                    backoff = retry.backoff_ms(rs.attempts - 1, rng)
-                    sim.schedule(backoff, lambda: dispatch_request(rs))
+                    _schedule_backoff(rs, retry.backoff_ms(rs.attempts - 1, rng))
                     return
                 overload_report.retries_denied += 1
             # Retry budget exhausted (or denied): give up and report the
@@ -650,6 +717,31 @@ class ClusterSimulator:
             # silent drop).
             rs.finished = True
             report.gave_up += 1
+            trace = rs.trace
+            if trace is not None and trace.status is None:
+                # A request can reach give-up with no critical spans at
+                # all: every timed-out attempt overlapped a then-live
+                # hedge, so no timeout-wait was ever charged.  The
+                # elapsed time was still all spent on failed attempts,
+                # so the stretch no critical span covers is charged to
+                # ``retry`` here rather than falling into ``other``.
+                root = trace.root
+                covered = root.start_ms
+                for span in trace.spans:
+                    if (
+                        span.critical
+                        and span.parent_id == root.span_id
+                        and span.end_ms is not None
+                    ):
+                        covered = max(covered, span.end_ms)
+                if sim.now - covered > 1e-9:
+                    Trace.finish(
+                        trace.start(
+                            SpanKind.RETRY, covered, name="gave-up-wait"
+                        ),
+                        sim.now,
+                    )
+                trace.close(sim.now, status="gave_up")
             complete(rs.start, served=False)
 
         def fast_fail(rs: _RequestState) -> None:
@@ -662,11 +754,13 @@ class ClusterSimulator:
             if retry is not None and rs.attempts <= retry.max_retries:
                 if retry_budget is None or retry_budget.try_spend():
                     report.retries += 1
-                    backoff = retry.backoff_ms(rs.attempts - 1, rng)
-                    sim.schedule(backoff, lambda: dispatch_request(rs))
+                    _schedule_backoff(rs, retry.backoff_ms(rs.attempts - 1, rng))
                     return
                 overload_report.retries_denied += 1
             rs.finished = True
+            if rs.trace is not None and rs.trace.status is None:
+                rs.trace.event(SpanKind.SHED, sim.now, name="rejected")
+                rs.trace.close(sim.now, status="rejected")
             abandon()
 
         def start_attempt(
@@ -690,6 +784,29 @@ class ClusterSimulator:
             server.outstanding += 1
             dispatched_at = sim.now
 
+            trace = rs.trace
+            if trace is not None and trace.status is None:
+                aspan = trace.start(
+                    SpanKind.ATTEMPT, dispatched_at,
+                    name=f"attempt{rs.attempts}",
+                )
+                aspan.annotate(server=server.index)
+                if hedge:
+                    aspan.annotate(hedge=True)
+                if brownout:
+                    aspan.annotate(brownout=True)
+                if rs.trace_live is None:
+                    rs.trace_live = []
+                rs.trace_live.append(aspan)
+                cursor = [dispatched_at]
+            else:
+                aspan = None
+                cursor = None
+
+            def drop_live() -> None:
+                if aspan is not None and aspan in (rs.trace_live or ()):
+                    rs.trace_live.remove(aspan)
+
             cpu_ms = platform.cpu_time_ms(
                 demand.cpu_ms_ref,
                 profile.cache_sensitivity,
@@ -710,9 +827,26 @@ class ClusterSimulator:
                     blade_ms = self._remote_memory.link_time_ms(demand)
             mem_ms = platform.memory_channel_time_ms(demand.mem_ms_ref)
             cache_was_bypassed = not getattr(server.disk_model, "available", True)
-            disk_ms = (
-                server.disk_model.service_ms(demand, rng) + degraded_disk_ms
-            )
+            # Traced attempts ask the disk model for its typed breakdown
+            # (flash hit vs backing disk); untraced attempts take the
+            # plain total.  Both consume identical RNG draws because
+            # ``service_ms`` delegates to ``service_components``.
+            disk_parts = None
+            if aspan is not None:
+                parts_fn = getattr(server.disk_model, "service_components", None)
+                if parts_fn is not None:
+                    disk_parts = parts_fn(demand, rng)
+                    disk_service = sum(part[2] for part in disk_parts)
+                else:
+                    disk_service = server.disk_model.service_ms(demand, rng)
+                disk_parts = list(disk_parts) if disk_parts else (
+                    [("disk", "disk", disk_service)] if disk_service > 0 else []
+                )
+                if degraded_disk_ms > 0.0:
+                    disk_parts.append(("disk", "degraded-swap", degraded_disk_ms))
+            else:
+                disk_service = server.disk_model.service_ms(demand, rng)
+            disk_ms = disk_service + degraded_disk_ms
             if cache_was_bypassed:
                 report.cache_bypassed_requests += 1
             net_ms = platform.net_time_ms(demand.net_bytes)
@@ -754,11 +888,23 @@ class ClusterSimulator:
                     return
                 rs.finished = True
                 server.completions += 1
+                if aspan is not None and trace.status is None:
+                    record_stage(
+                        trace, aspan, cursor[0], sim.now, SpanKind.NET, net_ms
+                    )
+                    Trace.finish(aspan, sim.now)
+                    drop_live()
+                    trace.close(sim.now, status="ok")
                 complete(rs.start, served=True)
 
             def after_disk() -> None:
                 if lost():
                     return
+                if aspan is not None and trace.status is None:
+                    record_stage_parts(
+                        trace, aspan, cursor[0], sim.now, disk_parts, disk_ms
+                    )
+                    cursor[0] = sim.now
                 server.nic.acquire(net_ms, done)
 
             def after_blade() -> None:
@@ -769,14 +915,48 @@ class ClusterSimulator:
             def after_mem() -> None:
                 if lost():
                     return
+                if aspan is not None and trace.status is None:
+                    record_stage(
+                        trace, aspan, cursor[0], sim.now, SpanKind.MEM, mem_ms
+                    )
+                    cursor[0] = sim.now
                 if blade is not None and blade_ms > 0 and blade_state["up"]:
-                    blade.acquire(blade_ms, after_blade)
+                    if aspan is None:
+                        blade.acquire(blade_ms, after_blade)
+                    else:
+                        def traced_after_blade() -> None:
+                            if lost():
+                                return
+                            if trace.status is None:
+                                span = record_stage(
+                                    trace, aspan, cursor[0], sim.now,
+                                    SpanKind.REMOTE_MEM, blade_ms,
+                                    name="blade-link",
+                                )
+                                span.annotate(
+                                    **self._remote_memory.span_attrs(demand)
+                                )
+                                cursor[0] = sim.now
+                            after_blade()
+
+                        blade.acquire(blade_ms, traced_after_blade)
                 else:
                     after_blade()
 
             def after_cpu() -> None:
                 if lost():
                     return
+                if aspan is not None and trace.status is None:
+                    # One slice: the contiguous-service interval is
+                    # exact.  Sliced requests report the last slice's
+                    # share and annotate the fan-out.
+                    span = record_stage(
+                        trace, aspan, cursor[0], sim.now, SpanKind.CPU,
+                        cpu_ms / slices,
+                    )
+                    if slices > 1:
+                        span.annotate(slices=slices)
+                    cursor[0] = sim.now
                 server.mem.acquire(mem_ms, after_mem)
 
             service_floor_ms = cpu_ms + mem_ms + blade_ms + disk_ms + net_ms
@@ -800,6 +980,11 @@ class ClusterSimulator:
                     # arranged the retry -- just shed the stale work.
                     overload_report.shed_deadline += 1
                     server.outstanding -= 1
+                    if aspan is not None and trace.status is None:
+                        trace.event(
+                            SpanKind.SHED, sim.now, parent=aspan,
+                            name="stale-shed",
+                        )
                     return False
                 if retry is not None and (
                     sim.now - dispatched_at + service_floor_ms > retry.timeout_ms
@@ -809,6 +994,25 @@ class ClusterSimulator:
                     attempt.void = True
                     overload_report.shed_deadline += 1
                     server.outstanding -= 1
+                    if aspan is not None and trace.status is None:
+                        # The whole attempt so far was queueing; charge
+                        # it to the critical path as queue time unless a
+                        # hedge is still covering the request.
+                        aspan.critical = False
+                        Trace.finish(aspan, sim.now)
+                        aspan.annotate(shed="deadline")
+                        drop_live()
+                        if not rs.trace_live:
+                            Trace.finish(
+                                trace.start(
+                                    SpanKind.QUEUE, dispatched_at,
+                                    name="shed-wait",
+                                ),
+                                sim.now,
+                            )
+                        trace.event(
+                            SpanKind.SHED, sim.now, name="deadline-shed"
+                        )
                     record_outcome(ok=False)
                     cancel_timers()
                     retry_or_give_up(rs)
@@ -859,6 +1063,24 @@ class ClusterSimulator:
                     return
                 attempt.void = True
                 report.timeouts += 1
+                if aspan is not None and trace.status is None:
+                    # The abandoned attempt's work leaves the critical
+                    # path; the wait it cost the request becomes a retry
+                    # span -- unless a hedge is still live, in which case
+                    # the request was never actually blocked on it.
+                    aspan.critical = False
+                    if aspan.end_ms is None:
+                        Trace.finish(aspan, sim.now)
+                    aspan.annotate(timeout=True)
+                    drop_live()
+                    if not rs.trace_live:
+                        Trace.finish(
+                            trace.start(
+                                SpanKind.RETRY, dispatched_at,
+                                name="timeout-wait",
+                            ),
+                            sim.now,
+                        )
                 record_outcome(ok=False)
                 retry_or_give_up(rs)
 
@@ -898,6 +1120,12 @@ class ClusterSimulator:
             )
             if good:
                 state["good"] += 1
+            if metrics is not None:
+                metrics.histogram("cluster.response_ms").record(response)
+                metrics.counter(
+                    "cluster.requests",
+                    outcome="served" if served else "gave_up",
+                ).inc()
 
         def complete(start_ms: float, served: bool = True) -> None:
             """A request finished: served, or given up after timeouts."""
@@ -980,8 +1208,24 @@ class ClusterSimulator:
                 ctype.value: count
                 for ctype, count in injector.failure_counts.items()
             }
+        if tracer is not None:
+            tracer.finalize(sim.now)
         window_s = max(state["t1"] - state["t0"], 1e-9) / 1000.0
         throughput = len(responses) / window_s
+        if metrics is not None:
+            metrics.counter("cluster.timeouts").inc(report.timeouts)
+            metrics.counter("cluster.retries").inc(report.retries)
+            metrics.counter("cluster.hedges").inc(report.hedges)
+            metrics.counter("cluster.gave_up").inc(report.gave_up)
+            metrics.counter("cluster.lost_in_flight").inc(report.lost_in_flight)
+            metrics.gauge("cluster.throughput_rps").set(throughput)
+            for server in servers:
+                metrics.gauge(
+                    "cluster.completions", server=server.index
+                ).set(server.completions)
+                cache = getattr(server.disk_model, "cache", None)
+                if cache is not None:
+                    cache.export_metrics(metrics, server=server.index)
         attach_report = track_faults or retry is not None or policy is not None
         return ClusterResult(
             servers=self._servers,

@@ -44,6 +44,7 @@ from repro.experiments import (
     table1,
     table2,
     table3,
+    trace_attribution,
     validation,
 )
 from repro.experiments.reporting import ExperimentResult
@@ -72,6 +73,7 @@ _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "heterogeneous": heterogeneous.run,
     "availability": availability.run,
     "overload": overload.run,
+    "trace_attribution": trace_attribution.run,
 }
 
 #: Experiments that accept a ``method`` keyword (DES vs analytic).

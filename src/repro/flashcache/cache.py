@@ -100,6 +100,24 @@ class FlashCache:
                 self.insert(object_id)
         return self.stats
 
+    def export_metrics(self, metrics, **labels) -> None:
+        """One-shot dump of the cache's counters into a labeled registry.
+
+        ``metrics`` is a :class:`repro.obs.MetricsRegistry`; call once at
+        the end of a run (counters would double-count if exported
+        repeatedly into the same registry).
+        """
+        stats = self.stats
+        metrics.counter("flash.lookups", **labels).inc(stats.lookups)
+        metrics.counter("flash.hits", **labels).inc(stats.hits)
+        metrics.counter("flash.insertions", **labels).inc(stats.insertions)
+        metrics.counter("flash.evictions", **labels).inc(stats.evictions)
+        metrics.counter("flash.block_writes", **labels).inc(stats.block_writes)
+        metrics.gauge("flash.hit_rate", **labels).set(stats.hit_rate)
+        metrics.gauge(
+            "flash.resident_objects", **labels
+        ).set(self.resident_objects)
+
     def _record_write(self) -> None:
         self.stats.block_writes += 1
         slot = self.stats.block_writes % self.capacity_objects

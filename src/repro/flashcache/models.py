@@ -21,7 +21,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Tuple
+
+#: One timed piece of a disk service: (span kind, label, service ms).
+#: Kinds are span vocabulary ("disk" / "flash") so the tracer can type
+#: each piece; the pieces of one request always sum to ``service_ms``.
+ServiceComponent = Tuple[str, str, float]
 
 from repro.flashcache.cache import FlashCache
 from repro.platforms.storage import StorageDevice, FLASH_1GB
@@ -51,6 +56,12 @@ class LocalDiskModel:
         return _device_service_ms(
             self.device, demand.disk_ios, demand.disk_bytes, demand.disk_write
         )
+
+    def service_components(
+        self, demand: ResourceDemand, rng: random.Random
+    ) -> List[ServiceComponent]:
+        """Typed breakdown of :meth:`service_ms` (identical RNG draws)."""
+        return [("disk", "local-disk", self.service_ms(demand, rng))]
 
     def mean_service_ms(self, demand: ResourceDemand) -> float:
         """Expected service for a mean demand (analytic model support)."""
@@ -83,6 +94,12 @@ class RemoteSanDiskModel:
 
     def service_ms(self, demand: ResourceDemand, rng: random.Random) -> float:
         return self.mean_service_ms(demand)
+
+    def service_components(
+        self, demand: ResourceDemand, rng: random.Random
+    ) -> List[ServiceComponent]:
+        """Typed breakdown of :meth:`service_ms` (identical RNG draws)."""
+        return [("disk", "san", self.service_ms(demand, rng))]
 
     def mean_service_ms(self, demand: ResourceDemand) -> float:
         """Expected service for a mean demand (analytic model support)."""
@@ -170,27 +187,43 @@ class FlashCachedDiskModel:
         return self._popularity.head_mass(self.cache.capacity_objects)
 
     def service_ms(self, demand: ResourceDemand, rng: random.Random) -> float:
+        # Single implementation: the typed breakdown below draws the same
+        # RNG values and updates the same cache state, so traced runs
+        # (which ask for components) and untraced runs (which ask for the
+        # total) are stream-identical.
+        return sum(ms for _, _, ms in self.service_components(demand, rng))
+
+    def service_components(
+        self, demand: ResourceDemand, rng: random.Random
+    ) -> List[ServiceComponent]:
+        """Typed breakdown of one request's disk service.
+
+        Returns ``(span kind, label, ms)`` pieces summing to what
+        :meth:`service_ms` reports for the same call: a flash hit is pure
+        flash time, a miss is backing-disk time, and writes/bypasses take
+        the raw disk path.
+        """
         if demand.disk_bytes <= 0 and demand.disk_ios <= 0:
-            return 0.0
+            return []
         if not self.available:
             # Cache down: raw disk path.  The popularity sample is still
             # drawn so the request stream (and RNG state) is identical
             # with and without an operational cache.
             self._popularity.sample(rng)
             self.bypassed_requests += 1
-            return self.backing.service_ms(demand, rng)
+            return [("disk", "cache-bypass", self.backing.service_ms(demand, rng))]
         object_id = self._popularity.sample(rng)
         if demand.disk_write:
             # Write-through: disk pays full price; cached copy is updated.
             self.cache.write_update(object_id)
-            return self.backing.service_ms(demand, rng)
+            return [("disk", "write-through", self.backing.service_ms(demand, rng))]
         if self.cache.lookup(object_id):
             # Flash hit: serve the request's bytes from flash.
             scale = demand.disk_bytes / max(self.params.object_bytes, 1.0)
-            return self.cache.read_service_ms() * max(scale, 0.1)
+            return [("flash", "hit", self.cache.read_service_ms() * max(scale, 0.1))]
         service = self.backing.service_ms(demand, rng)
         self.cache.insert(object_id)
-        return service
+        return [("disk", "miss", service)]
 
     def mean_service_ms(self, demand: ResourceDemand) -> float:
         """Expected service for a mean demand (analytic model support)."""

@@ -82,6 +82,19 @@ class RemoteMemoryModel:
         """Extra CPU time for fault handling per request."""
         return self.misses_per_request(demand) * self.trap_overhead_us / 1000.0
 
+    def span_attrs(self, demand: ResourceDemand) -> dict:
+        """Attributes for a traced remote-memory span.
+
+        Rounded so span logs stay compact; values are expectations, not
+        sampled counts (the model charges mean traffic per request).
+        """
+        misses = self.misses_per_request(demand)
+        return {
+            "misses": round(misses, 4),
+            "trap_cpu_ms": round(self.trap_cpu_ms(demand), 6),
+            "local_fraction": self.local_fraction,
+        }
+
     def degraded_time_ms(self, demand: ResourceDemand) -> float:
         """Capacity-miss penalty per request while the blade is DOWN.
 

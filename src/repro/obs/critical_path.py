@@ -1,0 +1,169 @@
+"""Critical-path decomposition of traced request latency.
+
+Walks one trace's span tree along its *critical* spans and charges every
+millisecond of end-to-end latency to exactly one component kind:
+
+- a span's **exclusive time** is its duration minus the duration of its
+  critical children (losing hedge attempts and timed-out attempts are
+  marked non-critical by the instrumentation, so concurrent wasted work
+  is never double-counted);
+- exclusive time is attributed to the span's kind (queue, cpu,
+  remote_mem, flash, disk, net, retry, ...);
+- whatever the root's critical children do not cover -- dispatch
+  decisions, hedge waits before the winning attempt started -- lands in
+  the ``other`` bucket.
+
+By construction the per-kind exclusive times of one trace sum *exactly*
+to its end-to-end latency (the property test in
+``tests/obs/test_critical_path.py`` holds this to float tolerance), so
+the aggregated attribution shares always total 100%.
+
+Aggregation answers the paper-level question "what fraction of this
+design's p99 is the memory blade?": for each requested percentile the
+traces at or beyond that latency are averaged per component, giving a
+p50/p95/p99 attribution table per design.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.experiments.reporting import format_table
+from repro.obs.span import Span, SpanKind, Trace
+
+#: Kind charged with root-exclusive time (uninstrumented gaps).
+OTHER = "other"
+
+#: Canonical row order of attribution tables.
+COMPONENT_ORDER: Tuple[str, ...] = SpanKind.COMPONENTS + (OTHER,)
+
+
+def exclusive_times(trace: Trace) -> Dict[str, float]:
+    """Per-kind exclusive milliseconds along the trace's critical path.
+
+    The returned values sum to ``trace.duration_ms`` exactly (up to
+    float rounding): every span contributes its duration minus its
+    critical children's, and the root's own kind is reported as
+    ``other`` so structural spans never masquerade as component time.
+    """
+    root = trace.root
+    if root is None:
+        return {}
+    children: Dict[int, List[Span]] = {}
+    for span in trace.spans:
+        if span.parent_id is not None and span.critical:
+            children.setdefault(span.parent_id, []).append(span)
+
+    times: Dict[str, float] = {}
+    stack: List[Span] = [root]
+    while stack:
+        span = stack.pop()
+        kids = children.get(span.span_id, ())
+        exclusive = span.duration_ms - sum(k.duration_ms for k in kids)
+        kind = span.kind
+        if kind in (SpanKind.REQUEST, SpanKind.ATTEMPT):
+            # Structural spans: their uncovered remainder is overhead
+            # the instrumentation did not type, not component time.
+            kind = OTHER
+        times[kind] = times.get(kind, 0.0) + exclusive
+        stack.extend(kids)
+    return times
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """Mean critical-path composition of the traces at/beyond a percentile."""
+
+    percentile: float
+    #: Nearest-rank latency at the percentile, ms.
+    latency_ms: float
+    #: Traces with end-to-end latency >= ``latency_ms`` (the tail set).
+    trace_count: int
+    #: Mean exclusive milliseconds per component over the tail set.
+    components: Dict[str, float]
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.components.values())
+
+    def shares(self) -> Dict[str, float]:
+        """Component fractions of the tail's mean latency (sum to 1.0)."""
+        total = self.total_ms
+        if total <= 0:
+            return {kind: 0.0 for kind in self.components}
+        return {kind: ms / total for kind, ms in self.components.items()}
+
+
+def attribute_critical_path(
+    traces: Iterable[Trace],
+    percentiles: Sequence[float] = (0.50, 0.95, 0.99),
+) -> List[Attribution]:
+    """Aggregate per-trace decompositions into a percentile table.
+
+    Only complete, non-truncated traces participate.  For percentile
+    ``p`` the tail set is every trace whose latency is at or beyond the
+    nearest-rank ``p``-quantile, which is the population whose latency
+    the "where did the tail go" question is about.
+    """
+    rows: List[Tuple[float, Dict[str, float]]] = []
+    for trace in traces:
+        if not trace.complete or trace.status == "truncated":
+            continue
+        rows.append((trace.duration_ms, exclusive_times(trace)))
+    if not rows:
+        return []
+    rows.sort(key=lambda item: item[0])
+    latencies = [latency for latency, _ in rows]
+
+    attributions = []
+    for percentile in percentiles:
+        if not 0 < percentile <= 1:
+            raise ValueError("percentiles must be in (0, 1]")
+        rank = max(0, math.ceil(percentile * len(rows)) - 1)
+        threshold = latencies[rank]
+        tail = rows[rank:]
+        sums: Dict[str, float] = {}
+        for _, components in tail:
+            for kind, ms in components.items():
+                sums[kind] = sums.get(kind, 0.0) + ms
+        count = len(tail)
+        attributions.append(
+            Attribution(
+                percentile=percentile,
+                latency_ms=threshold,
+                trace_count=count,
+                components={k: v / count for k, v in sorted(sums.items())},
+            )
+        )
+    return attributions
+
+
+def format_attribution(attributions: Sequence[Attribution]) -> str:
+    """Plain-text table: one row per percentile, one column per component."""
+    if not attributions:
+        return "(no complete traces)"
+    kinds = [
+        kind
+        for kind in COMPONENT_ORDER
+        if any(a.components.get(kind, 0.0) > 0 for a in attributions)
+    ]
+    extras = sorted(
+        {
+            kind
+            for a in attributions
+            for kind, ms in a.components.items()
+            if ms > 0 and kind not in COMPONENT_ORDER
+        }
+    )
+    kinds.extend(extras)
+    headers = ["pXX", "latency", "traces"] + kinds
+    rows = []
+    for a in attributions:
+        shares = a.shares()
+        rows.append(
+            [f"p{a.percentile * 100:g}", f"{a.latency_ms:.1f} ms", a.trace_count]
+            + [f"{shares.get(kind, 0.0):.1%}" for kind in kinds]
+        )
+    return format_table(headers, rows)

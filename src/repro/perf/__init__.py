@@ -32,6 +32,7 @@ from repro.perf.parallel import (
     default_jobs,
     in_worker,
     intra_jobs,
+    merge_telemetry,
     pmap,
     run_experiments,
     set_intra_jobs,
@@ -46,6 +47,7 @@ __all__ = [
     "default_jobs",
     "in_worker",
     "intra_jobs",
+    "merge_telemetry",
     "pmap",
     "run_experiments",
     "set_intra_jobs",

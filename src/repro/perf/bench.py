@@ -51,6 +51,12 @@ from repro.simulator.engine import Simulation
 #: ``baseline * (1 - REGRESSION_TOLERANCE)``.
 REGRESSION_TOLERANCE = 0.30
 
+#: Fail ``--check`` when a tracer with ``sample_rate=0.0`` slows the
+#: cluster hot path by more than this ratio over no tracer at all (the
+#: ``repro.obs`` zero-sampling budget: one attribute load and one
+#: comparison per request).
+TRACE_OVERHEAD_LIMIT = 1.05
+
 #: The headline metric's path into the results document.
 HEADLINE = ("engine_churn", "events_per_sec")
 
@@ -295,6 +301,91 @@ def _cluster_section(quick: bool) -> Dict[str, Dict[str, float]]:
     }
 
 
+def _trace_overhead_section(quick: bool) -> Dict[str, Dict[str, float]]:
+    """Cost of a zero-sampling tracer on the cluster hot path.
+
+    Interleaves untraced runs with ``Tracer(sample_rate=0.0)`` runs and
+    reports their CPU-time ratio.  The runs are asserted bit-identical
+    first -- tracing must not consume RNG state or add events -- so the
+    ratio measures pure overhead, not different work.
+
+    The true cost is a couple of branches per request (~1%), far below
+    the noise of a single short run on a busy host, so the estimator is
+    deliberately noise-robust: ``process_time`` (immune to scheduler
+    preemption), a warm-up run of each mode, and the smaller of the
+    median paired ratio and the ratio of per-side minima.  Either
+    estimate alone still reads well above the 5% gate when the guarded
+    hot path actually regresses (the guards are per-callback, so a real
+    slip multiplies across every stage of every request).
+    """
+    import statistics
+
+    from repro.cluster.balancer import ClusterSimulator
+    from repro.obs.tracer import Tracer
+    from repro.platforms.catalog import platform as platform_by_name
+    from repro.workloads.websearch import make_websearch
+
+    measure = 1200 if quick else 1800
+    reps = 7 if quick else 9
+    platform = platform_by_name("srvr1")
+    workload = make_websearch()
+
+    def run_once(tracer):
+        simulator = ClusterSimulator(
+            platform,
+            workload,
+            servers=3,
+            clients_per_server=4,
+            seed=3,
+            warmup_requests=100,
+            measure_requests=measure,
+            tracer=tracer,
+        )
+        start = time.process_time()
+        result = simulator.run()
+        return time.process_time() - start, result
+
+    _, result_off = run_once(None)
+    _, result_zero = run_once(Tracer(sample_rate=0.0))
+    assert result_off == result_zero, (
+        "a zero-sampling tracer changed the simulation results"
+    )
+
+    def one_round():
+        off_times = []
+        zero_times = []
+        for _ in range(max(1, reps)):
+            elapsed, _ = run_once(None)
+            off_times.append(elapsed)
+            elapsed, _ = run_once(Tracer(sample_rate=0.0))
+            zero_times.append(elapsed)
+        pair_ratio = statistics.median(
+            zero / off for off, zero in zip(off_times, zero_times)
+        )
+        min_ratio = min(zero_times) / min(off_times)
+        return min(off_times), min(zero_times), min(pair_ratio, min_ratio)
+
+    # Confirm-retry: a noisy round can read a few percent high, so only
+    # a ratio that stays high across rounds is reported high.  A real
+    # regression reads high in every round; noise does not.
+    best_off, best_zero, ratio = one_round()
+    for _ in range(2):
+        if ratio <= 1.0 + (TRACE_OVERHEAD_LIMIT - 1.0) * 0.6:
+            break
+        round_off, round_zero, round_ratio = one_round()
+        best_off = min(best_off, round_off)
+        best_zero = min(best_zero, round_zero)
+        ratio = min(ratio, round_ratio)
+    return {
+        "trace_overhead": {
+            "measure_requests": measure,
+            "untraced_cpu_s": round(best_off, 4),
+            "tracing_off_cpu_s": round(best_zero, 4),
+            "overhead_ratio": round(ratio, 4),
+        }
+    }
+
+
 def _kernels_section(quick: bool) -> Dict[str, Dict[str, float]]:
     """The single-pass trace kernels vs their scalar oracles.
 
@@ -457,6 +548,7 @@ def run_benchmarks(quick: bool = True, e2e: bool = False, jobs: int = 1) -> dict
     results.update(_engine_section(quick))
     results.update(_alloc_section())
     results.update(_cluster_section(quick))
+    results.update(_trace_overhead_section(quick))
     results.update(_kernels_section(quick))
     if e2e:
         results.update(_e2e_section(jobs))
@@ -503,6 +595,17 @@ def check_regression(current: dict, baseline: dict) -> List[str]:
             failures.append(
                 f"{key} kernel speedup regressed: {now:.2f}x vs "
                 f"baseline {base:.2f}x (floor {kernel_floor:.2f}x)"
+            )
+    # The zero-sampling tracer's budget is absolute (a ratio against the
+    # in-run untraced reference, so machine-independent): once the
+    # baseline carries the entry, a disabled tracer may not cost more
+    # than TRACE_OVERHEAD_LIMIT of the untraced hot path.
+    if baseline.get("results", {}).get("trace_overhead") is not None:
+        ratio = current["results"]["trace_overhead"]["overhead_ratio"]
+        if ratio > TRACE_OVERHEAD_LIMIT:
+            failures.append(
+                f"zero-sampling trace overhead too high: {ratio:.3f}x vs "
+                f"limit {TRACE_OVERHEAD_LIMIT:.2f}x of the untraced path"
             )
     return failures
 

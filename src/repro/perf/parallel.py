@@ -21,6 +21,7 @@ so the serial path stays the trivially-auditable reference.
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -158,6 +159,30 @@ def run_experiments(
                 cache.put(key, result)
 
     return list(zip(names, results))
+
+
+def merge_telemetry(parts: Iterable[Any]) -> Optional[Any]:
+    """Fold per-worker telemetry shards in request order, losslessly.
+
+    The ``--jobs N`` companion to :func:`pmap`: each worker fills its
+    own accumulator, the parent folds them back in input order.  Works
+    for anything with a lossless ``merge()`` --
+    :class:`~repro.simulator.telemetry.LatencyHistogram`,
+    :class:`~repro.simulator.telemetry.TimeSeries`,
+    :class:`~repro.obs.metrics.MetricsRegistry` -- and inherits their
+    raise-on-config-mismatch contract, so shards can never silently
+    degrade.  The first non-``None`` shard is deep-copied (callers'
+    shards are never mutated); returns ``None`` when every shard is.
+    """
+    merged = None
+    for part in parts:
+        if part is None:
+            continue
+        if merged is None:
+            merged = copy.deepcopy(part)
+        else:
+            merged.merge(part)
+    return merged
 
 
 def chunked(items: Sequence[T], size: int) -> Iterable[List[T]]:

@@ -19,6 +19,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Protocol
 
+from repro.obs.span import SpanKind
+from repro.obs.tracer import record_stage, record_stage_parts
 from repro.perf.variates import exponential_sampler
 from repro.platforms.platform import Platform
 from repro.simulator.engine import Simulation
@@ -50,6 +52,10 @@ class PlatformDiskModel:
         return self._platform.disk_time_ms(
             demand.disk_ios, demand.disk_bytes, write=demand.disk_write
         )
+
+    def service_components(self, demand: ResourceDemand, rng: random.Random):
+        """Typed breakdown of :meth:`service_ms` (identical RNG draws)."""
+        return [("disk", "disk", self.service_ms(demand, rng))]
 
 
 @dataclass(frozen=True)
@@ -101,6 +107,8 @@ class ServerSimulator:
         config: SimConfig = SimConfig(),
         disk_model: Optional[DiskModel] = None,
         memory_slowdown: float = 1.0,
+        tracer=None,
+        metrics=None,
     ):
         if population is not None and population <= 0:
             raise ValueError("population must be positive")
@@ -119,6 +127,13 @@ class ServerSimulator:
         #: Uniform CPU-time multiplier modelling remote-memory paging
         #: overhead (paper section 3.4's "2% slowdown" style adjustments).
         self._memory_slowdown = memory_slowdown
+        #: Optional :class:`repro.obs.Tracer`; sampling decisions are a
+        #: pure hash of the request sequence number, so traced runs
+        #: consume the same RNG stream as untraced ones.
+        self._tracer = tracer
+        #: Optional :class:`repro.obs.MetricsRegistry` for labeled
+        #: counters/histograms alongside the scalar ``SimResult``.
+        self._metrics = metrics
 
     @property
     def population(self) -> int:
@@ -133,6 +148,11 @@ class ServerSimulator:
         sample_exp = exponential_sampler(rng)
         platform = self._platform
         profile = self._profile
+        tracer = self._tracer
+        metrics = self._metrics
+        # Request sequence number: the tracer's sampling key.  Only
+        # maintained when tracing -- the untraced path is untouched.
+        rid = [0]
 
         cpu = Resource(sim, "cpu", platform.cpu.total_cores)
         mem = Resource(sim, "mem", platform.memory.channels)
@@ -162,6 +182,11 @@ class ServerSimulator:
             request = self._workload.sample(rng)
             demand = request.demand
             start = sim.now
+            if tracer is not None:
+                trace = tracer.begin(rid[0], start)
+                rid[0] += 1
+            else:
+                trace = None
 
             cpu_ms = (
                 platform.cpu_time_ms(
@@ -173,25 +198,76 @@ class ServerSimulator:
                 * self._memory_slowdown
             )
             mem_ms = platform.memory_channel_time_ms(demand.mem_ms_ref)
-            disk_ms = self._disk_model.service_ms(demand, rng)
+            # The typed breakdown and the plain total consume identical
+            # RNG draws (service_ms delegates to service_components), so
+            # asking for components only on traced requests changes
+            # nothing downstream.
+            disk_parts = None
+            if trace is not None:
+                parts_fn = getattr(self._disk_model, "service_components", None)
+                if parts_fn is not None:
+                    disk_parts = parts_fn(demand, rng)
+                    disk_ms = sum(part[2] for part in disk_parts)
+                else:
+                    disk_ms = self._disk_model.service_ms(demand, rng)
+            else:
+                disk_ms = self._disk_model.service_ms(demand, rng)
             net_ms = platform.net_time_ms(demand.net_bytes)
+            # Service-start times are recovered retroactively at each
+            # stage-completion callback (service is contiguous on these
+            # FCFS resources), so tracing adds no events to the heap.
+            cursor = [start] if trace is not None else None
+            root = trace.root if trace is not None else None
 
             def after_net() -> None:
+                if trace is not None:
+                    record_stage(
+                        trace, root, cursor[0], sim.now, SpanKind.NET, net_ms
+                    )
+                    trace.close(sim.now)
                 _complete(start)
 
             def after_disk() -> None:
+                if trace is not None:
+                    if disk_parts is not None:
+                        record_stage_parts(
+                            trace, root, cursor[0], sim.now, disk_parts, disk_ms
+                        )
+                    else:
+                        record_stage(
+                            trace, root, cursor[0], sim.now, SpanKind.DISK,
+                            disk_ms,
+                        )
+                    cursor[0] = sim.now
                 nic.acquire(net_ms, after_net)
 
             def after_mem() -> None:
+                if trace is not None:
+                    record_stage(
+                        trace, root, cursor[0], sim.now, SpanKind.MEM, mem_ms
+                    )
+                    cursor[0] = sim.now
                 disk.acquire(disk_ms, after_disk)
-
-            def after_cpu() -> None:
-                mem.acquire(mem_ms, after_mem)
 
             # Fork/join: requests with software parallelism split their
             # CPU work into concurrent slices across cores (total work
             # unchanged; latency shrinks when cores are free).
             slices = max(1, min(platform.cpu.total_cores, demand.cpu_parallelism))
+
+            def after_cpu() -> None:
+                if trace is not None:
+                    # With one slice the contiguous-service interval is
+                    # exact; sliced requests report the last slice's
+                    # share and annotate the fan-out.
+                    span = record_stage(
+                        trace, root, cursor[0], sim.now, SpanKind.CPU,
+                        cpu_ms / slices,
+                    )
+                    if slices > 1:
+                        span.annotate(slices=slices)
+                    cursor[0] = sim.now
+                mem.acquire(mem_ms, after_mem)
+
             if slices == 1:
                 cpu.acquire(cpu_ms, after_cpu)
             else:
@@ -216,6 +292,9 @@ class ServerSimulator:
                 responses.append(response)
                 if qos is not None:
                     qos.record(response)
+                if metrics is not None:
+                    metrics.counter("server.requests").inc()
+                    metrics.histogram("server.response_ms").record(response)
                 if state.completions >= warmup + measure:
                     state.done = True
                     state.window_end = sim.now
@@ -233,11 +312,26 @@ class ServerSimulator:
                 "window completed; increase population or request counts"
             )
 
+        if tracer is not None:
+            tracer.finalize(sim.now)
+
         window = max(state.window_end - state.window_start, 1e-9)
         throughput = len(responses) / (window / 1000.0)
         mean_response = sum(responses) / len(responses)
         percentile = qos.percentile_ms() if qos and qos.count else mean_response
         qos_met = qos.satisfied() if qos else True
+
+        if metrics is not None:
+            metrics.gauge("server.throughput_rps").set(throughput)
+            for resource in (cpu, mem, disk, nic):
+                utilization = min(
+                    1.0,
+                    (resource.stats.busy_time_ms - busy_at_start[resource.name])
+                    / (resource.servers * window),
+                )
+                metrics.gauge(
+                    "server.utilization", resource=resource.name
+                ).set(utilization)
 
         return SimResult(
             throughput_rps=throughput,

@@ -78,11 +78,48 @@ class LatencyHistogram:
     def max_ms(self) -> float:
         return self._max
 
-    def percentile_ms(self, percentile: float) -> float:
-        """Upper bound of the bucket holding the percentile sample."""
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram, losslessly (returns self).
+
+        Merging is exact only when both histograms share one bucket
+        layout, so a mismatched ``min_value_ms``/``max_value_ms``/
+        ``growth`` configuration raises instead of silently rebinning.
+        Used by the parallel runner and the metrics registry to combine
+        per-worker / per-server accumulators.
+        """
+        if not isinstance(other, LatencyHistogram):
+            raise TypeError("can only merge another LatencyHistogram")
+        if (
+            self._min != other._min
+            or self._log_growth != other._log_growth
+            or self._bucket_count != other._bucket_count
+        ):
+            raise ValueError(
+                "cannot merge histograms with different bucket configurations"
+            )
+        for index, count in enumerate(other._counts):
+            if count:
+                self._counts[index] += count
+        self._total += other._total
+        self._sum += other._sum
+        self._max = max(self._max, other._max)
+        return self
+
+    _NO_DEFAULT = object()
+
+    def percentile_ms(self, percentile: float, default=_NO_DEFAULT) -> float:
+        """Upper bound of the bucket holding the percentile sample.
+
+        An empty histogram raises ``ValueError`` unless ``default`` is
+        given, in which case it is returned instead -- the escape hatch
+        report generators use so an idle measurement window (no samples)
+        renders as "n/a" rather than crashing the whole report.
+        """
         if not 0 < percentile <= 1:
             raise ValueError("percentile must be in (0, 1]")
         if self._total == 0:
+            if default is not LatencyHistogram._NO_DEFAULT:
+                return default
             raise ValueError("histogram is empty")
         target = math.ceil(percentile * self._total)
         seen = 0
@@ -138,6 +175,24 @@ class TimeSeries:
             raise ValueError("time must be >= 0")
         index = int(time_ms / self.bucket_ms)
         self._buckets[index] = self._buckets.get(index, 0.0) + value
+
+    def merge(self, other: "TimeSeries") -> "TimeSeries":
+        """Fold ``other`` into this series, losslessly (returns self).
+
+        Both series must share the same bucket width; merging across
+        widths would rebin and is refused.
+        """
+        if not isinstance(other, TimeSeries):
+            raise TypeError("can only merge another TimeSeries")
+        if self.bucket_ms != other.bucket_ms:
+            raise ValueError(
+                "cannot merge series with different bucket widths "
+                f"({self.bucket_ms} vs {other.bucket_ms})"
+            )
+        buckets = self._buckets
+        for index, value in other._buckets.items():
+            buckets[index] = buckets.get(index, 0.0) + value
+        return self
 
     def series(self) -> List[Tuple[float, float]]:
         """(bucket start ms, accumulated value), gaps filled with zero."""

@@ -85,7 +85,7 @@ class TestRunner:
             "figure4", "table3", "figure5", "sensitivity",
             "ablation", "scaleout", "diurnal", "validation", "future",
             "power", "contention", "latency", "heterogeneous",
-            "availability", "overload",
+            "availability", "overload", "trace_attribution",
         }
 
     def test_run_experiment_by_name(self):

@@ -1,0 +1,104 @@
+"""Exporters: deterministic JSONL, digests, Chrome trace-event schema."""
+
+import json
+
+from repro.obs import (
+    SpanKind,
+    Trace,
+    chrome_trace,
+    spans_jsonl,
+    trace_digest,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+def _sample_traces():
+    trace = Trace(0)
+    root = trace.start(SpanKind.REQUEST, 0.0)
+    Trace.finish(trace.start(SpanKind.CPU, 0.0, parent=root), 3.0)
+    trace.event(SpanKind.SHED, 3.0, reason="probe")
+    trace.close(5.0)
+    other = Trace(1)
+    other.start(SpanKind.REQUEST, 1.0)
+    other.close(2.0, status="gave_up")
+    return [("groupA", [trace, other])]
+
+
+class TestJsonl:
+    def test_one_sorted_key_object_per_span(self):
+        lines = spans_jsonl(_sample_traces()).splitlines()
+        assert len(lines) == 4
+        record = json.loads(lines[0])
+        assert record["kind"] == "request"
+        assert record["group"] == "groupA"
+        assert list(record) == sorted(record)
+
+    def test_byte_identical_across_builds(self):
+        assert spans_jsonl(_sample_traces()) == spans_jsonl(_sample_traces())
+        assert trace_digest(_sample_traces()) == trace_digest(_sample_traces())
+
+    def test_digest_sees_every_field(self):
+        groups = _sample_traces()
+        base = trace_digest(groups)
+        groups[0][1][0].spans[1].critical = False
+        assert trace_digest(groups) != base
+
+    def test_empty_groups_give_empty_log(self):
+        assert spans_jsonl([("x", [])]) == ""
+
+    def test_write_roundtrip(self, tmp_path):
+        path = write_spans_jsonl(_sample_traces(), str(tmp_path / "spans.jsonl"))
+        assert open(path).read() == spans_jsonl(_sample_traces())
+
+
+class TestChromeTrace:
+    def test_document_passes_its_own_validator(self):
+        assert validate_chrome_trace(chrome_trace(_sample_traces())) == []
+
+    def test_groups_become_processes_and_traces_threads(self):
+        doc = chrome_trace(_sample_traces())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "groupA"
+        thread_names = {e["args"]["name"] for e in meta[1:]}
+        assert thread_names == {"request 0", "request 1"}
+
+    def test_zero_duration_spans_become_instant_events(self):
+        doc = chrome_trace(_sample_traces())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert any(e["cat"] == SpanKind.SHED for e in instants)
+
+    def test_timestamps_are_microseconds(self):
+        doc = chrome_trace(_sample_traces())
+        cpu = next(e for e in doc["traceEvents"] if e.get("cat") == "cpu")
+        assert cpu["dur"] == 3000.0
+
+    def test_write_roundtrip_validates(self, tmp_path):
+        path = write_chrome_trace(_sample_traces(), str(tmp_path / "t.json"))
+        assert validate_chrome_trace(json.load(open(path))) == []
+
+
+class TestValidator:
+    def test_rejects_non_objects_and_missing_envelope(self):
+        assert validate_chrome_trace([]) == ["document is not a JSON object"]
+        assert validate_chrome_trace({}) == ["missing traceEvents array"]
+        assert validate_chrome_trace({"traceEvents": []}) == [
+            "traceEvents is empty"
+        ]
+
+    def test_flags_missing_keys_and_bad_phases(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "n"},
+                {"ph": "?", "name": "n"},
+            ]
+        }
+        problems = validate_chrome_trace(doc)
+        assert any("missing 'ts'" in p for p in problems)
+        assert any("unsupported phase" in p for p in problems)
+
+    def test_flags_negative_timestamps(self):
+        doc = chrome_trace(_sample_traces())
+        doc["traceEvents"][2]["ts"] = -1.0
+        assert any("ts" in p for p in validate_chrome_trace(doc))

@@ -1,0 +1,119 @@
+"""Tracer: deterministic sampling, lifecycle, retroactive stage recording."""
+
+import pytest
+
+from repro.obs import SpanKind, Trace, Tracer
+from repro.obs.tracer import _hash01, record_stage, record_stage_parts
+
+
+class TestSampling:
+    def test_hash_is_deterministic(self):
+        assert _hash01(42, 17) == _hash01(42, 17)
+        assert 0.0 <= _hash01(42, 17) < 1.0
+
+    def test_seed_decorrelates_the_sampled_subset(self):
+        picks_a = {i for i in range(500) if _hash01(i, 1) < 0.3}
+        picks_b = {i for i in range(500) if _hash01(i, 2) < 0.3}
+        assert picks_a != picks_b
+
+    def test_rate_extremes_short_circuit(self):
+        assert Tracer(sample_rate=1.0).sampled(123)
+        assert not Tracer(sample_rate=0.0).sampled(123)
+
+    def test_fractional_rate_hits_roughly_the_rate(self):
+        tracer = Tracer(sample_rate=0.25, seed=5)
+        hits = sum(tracer.sampled(i) for i in range(2000))
+        assert 0.20 < hits / 2000 < 0.30
+
+    def test_same_decision_across_instances(self):
+        first = [Tracer(0.5, seed=9).sampled(i) for i in range(100)]
+        second = [Tracer(0.5, seed=9).sampled(i) for i in range(100)]
+        assert first == second
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestLifecycle:
+    def test_begin_counts_every_request_but_traces_sampled_ones(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert tracer.begin(0, 0.0) is None
+        assert tracer.requests_seen == 1
+        assert tracer.traces == []
+
+    def test_begin_opens_a_root_span(self):
+        tracer = Tracer(sample_rate=1.0)
+        trace = tracer.begin(3, 2.5)
+        assert trace.trace_id == 3
+        assert trace.root.kind == SpanKind.REQUEST
+        assert trace.root.start_ms == 2.5
+
+    def test_finalize_marks_open_traces_truncated(self):
+        tracer = Tracer(sample_rate=1.0)
+        in_flight = tracer.begin(0, 0.0)
+        done = tracer.begin(1, 0.0)
+        done.close(4.0, status="ok")
+        tracer.finalize(10.0)
+        assert in_flight.status == "truncated"
+        assert in_flight.root.end_ms == 10.0
+        assert done.status == "ok"
+        assert tracer.completed_traces() == [done]
+
+    def test_finalize_truncates_closed_trace_with_stranded_span(self):
+        # A span left open past close() (a stranded attempt) taints the
+        # whole trace: attribution must not see a partial decomposition.
+        tracer = Tracer(sample_rate=1.0)
+        trace = tracer.begin(0, 0.0)
+        stranded = trace.start(SpanKind.ATTEMPT, 1.0)
+        trace.status = "ok"
+        Trace.finish(trace.root, 5.0)
+        assert stranded.end_ms is None
+        tracer.finalize(9.0)
+        assert trace.status == "truncated"
+        assert stranded.end_ms == 9.0
+        assert stranded.attrs["truncated"] is True
+
+
+class TestRecordStage:
+    def _trace(self):
+        trace = Trace(0)
+        root = trace.start(SpanKind.REQUEST, 0.0)
+        return trace, root
+
+    def test_back_to_back_stage_has_no_queue_span(self):
+        trace, root = self._trace()
+        span = record_stage(trace, root, 10.0, 13.0, SpanKind.CPU, 3.0)
+        assert span.start_ms == 10.0 and span.end_ms == 13.0
+        assert [s.kind for s in trace.spans] == [SpanKind.REQUEST, SpanKind.CPU]
+
+    def test_gap_before_service_becomes_a_queue_span(self):
+        trace, root = self._trace()
+        record_stage(trace, root, 10.0, 18.0, SpanKind.DISK, 3.0)
+        kinds = [s.kind for s in trace.spans]
+        assert kinds == [SpanKind.REQUEST, SpanKind.QUEUE, SpanKind.DISK]
+        queue = trace.spans[1]
+        assert (queue.start_ms, queue.end_ms) == (10.0, 15.0)
+
+    def test_service_longer_than_window_clamps_to_cursor(self):
+        trace, root = self._trace()
+        span = record_stage(trace, root, 10.0, 12.0, SpanKind.CPU, 5.0)
+        assert span.start_ms == 10.0
+        assert len(trace.spans) == 2  # no negative-length queue span
+
+    def test_parts_served_back_to_back(self):
+        trace, root = self._trace()
+        parts = [
+            (SpanKind.FLASH, "flash:hit", 1.0),
+            (SpanKind.DISK, "disk:read", 4.0),
+        ]
+        record_stage_parts(trace, root, 0.0, 5.0, parts, total_ms=5.0)
+        flash, disk = trace.spans[1], trace.spans[2]
+        assert (flash.start_ms, flash.end_ms) == (0.0, 1.0)
+        assert (disk.start_ms, disk.end_ms) == (1.0, 5.0)
+
+    def test_zero_length_parts_are_skipped(self):
+        trace, root = self._trace()
+        parts = [(SpanKind.FLASH, "flash:hit", 2.0), (SpanKind.DISK, "disk", 0.0)]
+        record_stage_parts(trace, root, 0.0, 2.0, parts, total_ms=2.0)
+        assert [s.kind for s in trace.spans] == [SpanKind.REQUEST, SpanKind.FLASH]

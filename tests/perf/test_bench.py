@@ -24,6 +24,7 @@ class TestHarness:
             "alloc_request_state",
             "alloc_attempt",
             "cluster_surge",
+            "trace_overhead",
             "mrc_sweep",
             "flash_replay",
         } <= set(document["results"])
@@ -93,4 +94,23 @@ class TestRegressionGate:
         older = copy.deepcopy(document)
         del older["results"]["mrc_sweep"]
         del older["results"]["flash_replay"]
+        del older["results"]["trace_overhead"]
         assert bench.check_regression(document, older) == []
+
+    def test_flags_excess_trace_overhead(self, document):
+        slowed = copy.deepcopy(document)
+        slowed["results"]["trace_overhead"]["overhead_ratio"] = (
+            bench.TRACE_OVERHEAD_LIMIT * 1.2
+        )
+        failures = bench.check_regression(slowed, document)
+        assert failures and "trace overhead" in failures[0]
+
+    def test_trace_overhead_gate_is_absolute_not_relative(self, document):
+        # The gate compares against TRACE_OVERHEAD_LIMIT, not the
+        # baseline's measured ratio: an in-limit ratio passes even if
+        # the baseline happened to record a lower one.
+        current = copy.deepcopy(document)
+        current["results"]["trace_overhead"]["overhead_ratio"] = (
+            bench.TRACE_OVERHEAD_LIMIT - 0.01
+        )
+        assert bench.check_regression(current, document) == []

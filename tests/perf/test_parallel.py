@@ -96,3 +96,36 @@ class TestRunExperiments:
         base = cache.key("availability", {})
         tweaked = cache.key("availability", {"servers": 3})
         assert base != tweaked
+
+
+class TestMergeTelemetry:
+    def test_folds_shards_in_order(self):
+        from repro.obs import MetricsRegistry
+        from repro.perf.parallel import merge_telemetry
+
+        shards = []
+        for amount in (1.0, 2.0, 4.0):
+            registry = MetricsRegistry()
+            registry.counter("served").inc(amount)
+            shards.append(registry)
+        combined = merge_telemetry(shards)
+        assert combined.value("served") == 7.0
+        # The shards themselves are untouched (first one deep-copied).
+        assert shards[0].value("served") == 1.0
+
+    def test_skips_missing_shards(self):
+        from repro.simulator.telemetry import LatencyHistogram
+        from repro.perf.parallel import merge_telemetry
+
+        left, right = LatencyHistogram(), LatencyHistogram()
+        left.record(10.0)
+        right.record(1000.0)
+        combined = merge_telemetry([None, left, None, right])
+        assert combined.count == 2
+        assert left.count == 1  # input shard not mutated
+
+    def test_all_missing_gives_none(self):
+        from repro.perf.parallel import merge_telemetry
+
+        assert merge_telemetry([]) is None
+        assert merge_telemetry([None, None]) is None

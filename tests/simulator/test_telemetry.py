@@ -164,3 +164,84 @@ class TestAvailabilityTracker:
             tracker.finalize(50.0)
         with pytest.raises(KeyError):
             tracker.entity("unknown")
+
+
+class TestLatencyHistogramMerge:
+    def test_merge_is_lossless(self):
+        rng = random.Random(4)
+        values = [rng.expovariate(1 / 50.0) for _ in range(400)]
+        reference, left, right = (
+            LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        )
+        for index, value in enumerate(values):
+            reference.record(value)
+            (left if index % 2 else right).record(value)
+        merged = left.merge(right)
+        assert merged is left
+        assert merged.count == reference.count
+        assert merged.mean_ms == pytest.approx(reference.mean_ms)
+        assert merged.max_ms == reference.max_ms
+        for percentile in (0.5, 0.9, 0.99, 1.0):
+            assert merged.percentile_ms(percentile) == (
+                reference.percentile_ms(percentile)
+            )
+
+    def test_merge_with_empty_is_identity(self):
+        hist = LatencyHistogram()
+        hist.record(5.0)
+        hist.merge(LatencyHistogram())
+        assert hist.count == 1
+        assert hist.percentile_ms(1.0) == 5.0
+
+    def test_mismatched_bucket_configuration_raises(self):
+        with pytest.raises(ValueError, match="bucket configurations"):
+            LatencyHistogram().merge(LatencyHistogram(growth=1.3))
+        with pytest.raises(ValueError, match="bucket configurations"):
+            LatencyHistogram().merge(LatencyHistogram(min_value_ms=0.1))
+
+    def test_merge_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            LatencyHistogram().merge(TimeSeries(bucket_ms=100.0))
+
+
+class TestPercentileDefault:
+    def test_empty_histogram_raises_without_default(self):
+        with pytest.raises(ValueError, match="empty"):
+            LatencyHistogram().percentile_ms(0.99)
+
+    def test_default_is_the_escape_hatch(self):
+        assert LatencyHistogram().percentile_ms(0.99, default=None) is None
+        assert LatencyHistogram().percentile_ms(0.99, default=0.0) == 0.0
+
+    def test_default_is_ignored_when_populated(self):
+        hist = LatencyHistogram()
+        hist.record(10.0)
+        assert hist.percentile_ms(0.99, default=None) is not None
+
+    def test_invalid_percentile_still_raises_with_default(self):
+        with pytest.raises(ValueError, match="percentile"):
+            LatencyHistogram().percentile_ms(2.0, default=None)
+
+
+class TestTimeSeriesMerge:
+    def test_merge_adds_bucket_values(self):
+        left, right, reference = (
+            TimeSeries(bucket_ms=100.0),
+            TimeSeries(bucket_ms=100.0),
+            TimeSeries(bucket_ms=100.0),
+        )
+        for series in (left, reference):
+            series.record(50.0, 2.0)
+        for series in (right, reference):
+            series.record(150.0, 1.0)
+            series.record(60.0, 3.0)
+        assert left.merge(right) is left
+        assert left == reference
+
+    def test_mismatched_bucket_width_raises(self):
+        with pytest.raises(ValueError, match="bucket widths"):
+            TimeSeries(bucket_ms=100.0).merge(TimeSeries(bucket_ms=50.0))
+
+    def test_merge_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            TimeSeries(bucket_ms=100.0).merge(LatencyHistogram())

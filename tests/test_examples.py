@@ -29,6 +29,7 @@ def test_all_examples_exist_and_have_main():
         "client_driver_session",
         "paper_walkthrough",
         "overload_surge",
+        "trace_request",
     }
     found = {p.stem for p in _EXAMPLES.glob("*.py")}
     assert expected <= found

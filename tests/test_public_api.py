@@ -16,6 +16,8 @@ PACKAGES = [
     "repro.cooling",
     "repro.cluster",
     "repro.faults",
+    "repro.obs",
+    "repro.perf",
     "repro.validation",
     "repro.experiments",
 ]
