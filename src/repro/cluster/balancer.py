@@ -51,8 +51,10 @@ metastable retry storms actually occur.
 from __future__ import annotations
 
 import enum
+import hashlib
+import pickle
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from numbers import Real
 from typing import Dict, List, Optional
 
@@ -65,6 +67,13 @@ from repro.cluster.overload import (
     OverloadReport,
     RetryBudget,
     SurgeSchedule,
+)
+from repro.faults.failslow import (
+    DetectionPolicy,
+    DriftTable,
+    FailSlowPlan,
+    FailSlowReport,
+    PeerComparisonDetector,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.model import ComponentType, FaultProfile
@@ -155,6 +164,12 @@ class FaultReport:
     timeouts: int = 0
     retries: int = 0
     hedges: int = 0
+    #: Hedged attempts whose RNG-picked target was quarantined by the
+    #: gray-failure detector and were re-routed to a healthy peer.
+    hedge_redirects: int = 0
+    #: Hedge opportunities dropped because no server could accept the
+    #: duplicate attempt (previously a silent return).
+    hedges_dropped: int = 0
     #: Completions discarded because another attempt already won.
     wasted_completions: int = 0
     #: Requests abandoned after exhausting the retry budget.
@@ -199,6 +214,10 @@ class ClusterResult:
     #: Overload-protection counters and timelines (None for legacy
     #: closed-loop runs without an :class:`OverloadPolicy`).
     overload_report: Optional[OverloadReport] = None
+    #: Gray-failure injection/detection summary (None when the run used
+    #: neither a :class:`~repro.faults.failslow.FailSlowPlan` nor a
+    #: :class:`~repro.faults.failslow.DetectionPolicy`).
+    failslow_report: Optional[FailSlowReport] = None
 
     @property
     def imbalance(self) -> float:
@@ -207,6 +226,23 @@ class ClusterResult:
             return 1.0
         mean = sum(self.server_completions) / len(self.server_completions)
         return max(self.server_completions) / mean if mean else 1.0
+
+    def stream_digest(self) -> str:
+        """SHA-256 over the behavioural measurements of the run.
+
+        Excludes :attr:`failslow_report` -- the detector's own
+        bookkeeping (evaluation counts, scores) necessarily differs
+        between detection-on and detection-off runs even when the
+        *served request stream* is identical.  Everything the workload
+        can observe (latencies, completions, fault/overload counters)
+        is covered, so this is the equality the zero-RNG guarantee
+        promises: on a healthy fleet, enabling scoring and ejection
+        changes nothing the requests experienced.
+        """
+        payload = replace(self, failslow_report=None)
+        return hashlib.sha256(
+            pickle.dumps(payload, protocol=4)
+        ).hexdigest()
 
 
 class _RequestState:
@@ -336,6 +372,8 @@ class ClusterSimulator:
         measure_ms: float = 20_000.0,
         tracer=None,
         metrics=None,
+        failslow: Optional[FailSlowPlan] = None,
+        failslow_detection: Optional[DetectionPolicy] = None,
     ):
         """``remote_memory`` attaches a shared memory blade: every request
         pays its expected remote-miss traffic on one blade-controller link
@@ -386,7 +424,21 @@ class ClusterSimulator:
         RNG state: traced and untraced runs of the same seed produce
         identical :class:`ClusterResult` values.  ``metrics`` (a
         :class:`repro.obs.MetricsRegistry`) collects labeled counters,
-        response histograms, and per-server gauges alongside."""
+        response histograms, and per-server gauges alongside.
+
+        ``failslow`` attaches gray-failure drift processes
+        (:class:`~repro.faults.failslow.FailSlowPlan`): individual
+        servers' CPU, NIC, remote-memory, and flash/disk service times
+        degrade continuously as pure functions of simulated time,
+        consuming no RNG state.  ``failslow_detection`` enables the
+        peer-comparison detector
+        (:class:`~repro.faults.failslow.DetectionPolicy`): per-server
+        attempt latencies are scored against the fleet median, outliers
+        are quarantined and probed back in, and (when the policy
+        carries an adaptive-timeout sub-policy) the per-attempt timeout
+        tracks the fleet's observed percentile instead of the static
+        ``retry.timeout_ms``.  Detection requires ``retry`` so that
+        timed-out attempts exist to observe."""
         if servers <= 0 or clients_per_server <= 0:
             raise ValueError("servers and clients_per_server must be positive")
         if enclosure_size <= 0:
@@ -455,6 +507,11 @@ class ClusterSimulator:
         self._measure_ms = measure_ms
         self._tracer = tracer
         self._metrics = metrics
+        self._failslow = failslow
+        self._failslow_detection = failslow_detection
+        if failslow is not None:
+            # Validate server indices up front (table() re-checks).
+            failslow.table(servers)
 
     def _pick(
         self, servers: List[_Server], rr_state: Dict[str, int],
@@ -490,6 +547,29 @@ class ClusterSimulator:
         # Request sequence number, the tracer's deterministic sampling
         # key.  Only maintained when tracing is on.
         rid = [0]
+        # Gray-failure machinery: drift lookups and the peer-comparison
+        # detector.  Both are RNG-free -- drifts are pure functions of
+        # simulated time, detection is a pure function of observed
+        # latencies -- so enabling either leaves the seeded random
+        # stream (and, on a healthy fleet, the request stream) intact.
+        drift = (
+            self._failslow.table(self._servers)
+            if self._failslow is not None else None
+        )
+        detector: Optional[PeerComparisonDetector] = None
+        if self._failslow_detection is not None:
+            detector = PeerComparisonDetector(
+                self._failslow_detection, self._servers, metrics=metrics
+            )
+        # Bound once: recording an attempt latency sits on the
+        # per-completion hot path, so each server's histogram ``record``
+        # is bound directly rather than routed through the detector.
+        detector_record = (
+            None
+            if detector is None
+            else tuple(hist.record for hist in detector.histograms)
+        )
+        detector_report = None if detector is None else detector.report
         servers = [
             _Server(sim, platform, self._disk_model_factory(), index)
             for index in range(self._servers)
@@ -588,6 +668,24 @@ class ClusterSimulator:
         def _measurement_active() -> bool:
             return state["measuring"] and not state["done"]
 
+        if detector is not None:
+            eval_interval = self._failslow_detection.eval_interval_ms
+
+            def detector_tick() -> None:
+                if state["done"]:
+                    return
+                for change in detector.evaluate(sim.now):
+                    if change.reason == "readmitted" and breakers is not None:
+                        # Breaker interplay: the failures the breaker saw
+                        # were the gray failure's doing.  A re-admitted
+                        # server starts with a clean breaker, or the old
+                        # evidence would keep it dark long after probes
+                        # proved it healthy.
+                        breakers[change.server].reset(sim.now)
+                sim.schedule(eval_interval, detector_tick)
+
+            sim.schedule(eval_interval, detector_tick)
+
         def client_loop() -> None:
             if state["done"]:
                 return
@@ -663,6 +761,27 @@ class ClusterSimulator:
                     sim.schedule(HEALTH_RECHECK_MS, lambda: dispatch_request(rs))
                 return
             candidates = alive
+            # Fast path: with nobody ejected (always, on a healthy
+            # fleet) every server is routable and there is nobody to
+            # probe, so the filter below would be a per-request no-op.
+            if detector is not None and detector.ejected_count:
+                routable = [
+                    s for s in candidates if detector.routable(s.index)
+                ]
+                if routable:
+                    candidates = routable
+                    probe_index = detector.take_probe()
+                    if probe_index is not None and servers[probe_index].up:
+                        # Probation probe: route this request to the
+                        # recovering server so it can prove itself.
+                        rs.attempts += 1
+                        start_attempt(rs, servers[probe_index])
+                        return
+                else:
+                    # Every live server is quarantined: availability
+                    # beats ejection, dispatch proceeds as if the
+                    # detector were absent.
+                    detector.report.quarantine_bypasses += 1
             if breakers is not None:
                 candidates = [
                     s for s in candidates if breakers[s.index].allow(sim.now)
@@ -783,6 +902,26 @@ class ClusterSimulator:
             attempt = _Attempt(server, server.epoch, probe)
             server.outstanding += 1
             dispatched_at = sim.now
+            # Per-attempt timeout: static, or percentile-adaptive when
+            # the detector carries an AdaptiveTimeoutPolicy (static stays
+            # the hard ceiling).  Fixed at dispatch time so the attempt's
+            # deadline does not move under it.
+            if retry is None:
+                attempt_timeout_ms = 0.0
+            elif detector is None:
+                attempt_timeout_ms = retry.timeout_ms
+            else:
+                # Inline read of the detector's cached adaptive timeout
+                # (recomputed only when the fleet median moves): one
+                # attribute load and one comparison per attempt.
+                cached = detector.adaptive_timeout_ms
+                if cached is None:
+                    attempt_timeout_ms = retry.timeout_ms
+                else:
+                    attempt_timeout_ms = (
+                        cached if cached < retry.timeout_ms else retry.timeout_ms
+                    )
+                    detector_report.last_adaptive_timeout_ms = attempt_timeout_ms
 
             trace = rs.trace
             if trace is not None and trace.status is None:
@@ -825,6 +964,15 @@ class ClusterSimulator:
                     report.degraded_requests += 1
                 else:
                     blade_ms = self._remote_memory.link_time_ms(demand)
+            if drift is not None:
+                # Gray-failure drift, evaluated once at dispatch time
+                # (pure function of simulated time; zero RNG).
+                lane = drift.cpu[server.index]
+                if lane is not None:
+                    cpu_ms *= DriftTable.scale(lane, dispatched_at)
+                lane = drift.remote[server.index]
+                if lane is not None and blade_ms > 0.0:
+                    blade_ms *= DriftTable.scale(lane, dispatched_at)
             mem_ms = platform.memory_channel_time_ms(demand.mem_ms_ref)
             cache_was_bypassed = not getattr(server.disk_model, "available", True)
             # Traced attempts ask the disk model for its typed breakdown
@@ -842,14 +990,33 @@ class ClusterSimulator:
                 disk_parts = list(disk_parts) if disk_parts else (
                     [("disk", "disk", disk_service)] if disk_service > 0 else []
                 )
-                if degraded_disk_ms > 0.0:
-                    disk_parts.append(("disk", "degraded-swap", degraded_disk_ms))
             else:
                 disk_service = server.disk_model.service_ms(demand, rng)
+            if drift is not None:
+                lane = drift.flash[server.index]
+                if lane is not None:
+                    # Scale the flash/disk *total* once in both paths:
+                    # float multiplication does not distribute over the
+                    # per-part sum, so scaling parts and summing would
+                    # let traced and untraced attempts drift apart
+                    # bitwise.  The per-part breakdown is display-only.
+                    flash_mult = DriftTable.scale(lane, dispatched_at)
+                    disk_service *= flash_mult
+                    if disk_parts:
+                        disk_parts = [
+                            (kind, name, ms * flash_mult)
+                            for kind, name, ms in disk_parts
+                        ]
+            if disk_parts is not None and degraded_disk_ms > 0.0:
+                disk_parts.append(("disk", "degraded-swap", degraded_disk_ms))
             disk_ms = disk_service + degraded_disk_ms
             if cache_was_bypassed:
                 report.cache_bypassed_requests += 1
             net_ms = platform.net_time_ms(demand.net_bytes)
+            if drift is not None:
+                lane = drift.nic[server.index]
+                if lane is not None:
+                    net_ms *= DriftTable.scale(lane, dispatched_at)
 
             def lost() -> bool:
                 return attempt.epoch != server.epoch
@@ -883,6 +1050,11 @@ class ClusterSimulator:
                 if attempt.void:
                     return
                 record_outcome(ok=True)
+                if detector_record is not None:
+                    # Wasted completions still score: the attempt's
+                    # latency is evidence of the server's speed whether
+                    # or not it won the race.
+                    detector_record[server.index](sim.now - dispatched_at)
                 if rs.finished:
                     report.wasted_completions += 1
                     return
@@ -987,7 +1159,8 @@ class ClusterSimulator:
                         )
                     return False
                 if retry is not None and (
-                    sim.now - dispatched_at + service_floor_ms > retry.timeout_ms
+                    sim.now - dispatched_at + service_floor_ms
+                    > attempt_timeout_ms
                 ):
                     # Provably cannot meet the deadline: fail fast now
                     # rather than waiting for the timeout to notice.
@@ -1063,6 +1236,10 @@ class ClusterSimulator:
                     return
                 attempt.void = True
                 report.timeouts += 1
+                if detector_record is not None:
+                    # A timeout is a floor on the true latency -- strong
+                    # evidence, recorded at the timeout value.
+                    detector_record[server.index](attempt_timeout_ms)
                 if aspan is not None and trace.status is None:
                     # The abandoned attempt's work leaves the critical
                     # path; the wait it cost the request becomes a retry
@@ -1084,7 +1261,7 @@ class ClusterSimulator:
                 record_outcome(ok=False)
                 retry_or_give_up(rs)
 
-            attempt.timer = sim.schedule_timer(retry.timeout_ms, on_timeout)
+            attempt.timer = sim.schedule_timer(attempt_timeout_ms, on_timeout)
 
             if retry.hedge_after_ms is None or hedge or rs.hedged:
                 return
@@ -1100,11 +1277,34 @@ class ClusterSimulator:
                     s for s in alive if s is not server and _allowed(s)
                 ] or [s for s in alive if _allowed(s)]
                 if not others:
+                    # No server can take the duplicate; count the missed
+                    # hedge instead of vanishing silently.
+                    report.hedges_dropped += 1
                     return
                 rs.hedged = True
                 rs.attempts += 1
                 report.hedges += 1
-                start_attempt(rs, self._pick(others, rr_state, rng), hedge=True)
+                # Pick with the shared RNG from the naive candidate set
+                # first (identical draw sequence whether or not detection
+                # is on), then redirect deterministically if the pick
+                # landed on a quarantined/probation server: a hedge's
+                # whole point is a *fast* second opinion.
+                target = self._pick(others, rr_state, rng)
+                if (
+                    detector is not None
+                    and detector.ejected_count
+                    and not detector.routable(target.index)
+                ):
+                    routable = [
+                        s for s in others if detector.routable(s.index)
+                    ]
+                    if routable:
+                        target = min(
+                            routable,
+                            key=lambda s: (s.outstanding, s.index),
+                        )
+                        report.hedge_redirects += 1
+                start_attempt(rs, target, hedge=True)
 
             attempt.hedge_timer = sim.schedule_timer(
                 retry.hedge_after_ms, maybe_hedge
@@ -1210,6 +1410,13 @@ class ClusterSimulator:
             }
         if tracer is not None:
             tracer.finalize(sim.now)
+        failslow_report: Optional[FailSlowReport] = None
+        if detector is not None:
+            failslow_report = detector.finalize(sim.now)
+        if self._failslow is not None:
+            if failslow_report is None:
+                failslow_report = FailSlowReport()
+            failslow_report.drifting_servers = self._failslow.drifting_servers
         window_s = max(state["t1"] - state["t0"], 1e-9) / 1000.0
         throughput = len(responses) / window_s
         if metrics is not None:
@@ -1219,6 +1426,16 @@ class ClusterSimulator:
             metrics.counter("cluster.gave_up").inc(report.gave_up)
             metrics.counter("cluster.lost_in_flight").inc(report.lost_in_flight)
             metrics.gauge("cluster.throughput_rps").set(throughput)
+            if failslow_report is not None:
+                metrics.counter("cluster.failslow.ejections").inc(
+                    failslow_report.ejections
+                )
+                metrics.counter("cluster.failslow.readmissions").inc(
+                    failslow_report.readmissions
+                )
+                metrics.counter("cluster.failslow.probes").inc(
+                    failslow_report.probes
+                )
             for server in servers:
                 metrics.gauge(
                     "cluster.completions", server=server.index
@@ -1252,6 +1469,7 @@ class ClusterSimulator:
                 qos.percentile_ms(0.99) if qos and qos.count else 0.0
             ),
             overload_report=overload_report,
+            failslow_report=failslow_report,
         )
 
     def _inject_faults(

@@ -355,6 +355,19 @@ class CircuitBreaker:
             return
         self._outcomes.append(True)
 
+    def reset(self, now_ms: float) -> None:
+        """Forget the outcome window and close the breaker.
+
+        Used by the gray-failure detector when it re-admits a server
+        from probation: the failures the breaker accumulated were the
+        fail-slow episode's doing, and probes have since proved the
+        server healthy -- stale evidence must not keep it dark.
+        """
+        self._outcomes.clear()
+        self._probes_in_flight = 0
+        if self.state is not BreakerState.CLOSED:
+            self._transition(now_ms, BreakerState.CLOSED)
+
     def record_failure(self, now_ms: float, probe: bool = False) -> None:
         if probe:
             self._probes_in_flight = max(self._probes_in_flight - 1, 0)

@@ -1,0 +1,548 @@
+"""Fail-slow gray failures and peer-comparison detection: EXT-12.
+
+EXT-8 prices *fail-stop* hardware faults into the srvr1/N1/N2
+comparison; this experiment asks the harder warehouse question the
+paper's low-cost ensembles raise (section 3.6 and Hamilton's
+modular-datacenter argument): what happens when one node does not die
+but gets *slow* -- and how much of the damage can service-level
+detection undo at zero hardware cost?
+
+Three scenarios per tier, identical seed and workload:
+
+- **healthy** -- no drift, the tier's clean baseline;
+- **undetected** -- one node serving every resource dimension (CPU,
+  NIC, remote memory, flash/disk) at 10x its healthy service time,
+  behind a health-blind round-robin dispatcher with a static
+  worst-case timeout.  Every health check still passes -- the node
+  answers -- so roughly 1/N of all requests eat the 10x path and the
+  cluster p99 inflates severalfold;
+- **detected** -- the same degraded cluster with
+  :class:`~repro.faults.failslow.PeerComparisonDetector` enabled:
+  peer-comparison scoring over per-server latency histograms, outlier
+  ejection with exponential-backoff quarantine and probation probes,
+  and percentile-adaptive per-attempt timeouts in place of the static
+  guess.
+
+Every run is traced (:mod:`repro.obs`), so the recovery claim comes
+with a bill: per-tier critical-path attribution tables show which span
+kinds the undetected tail spends its milliseconds on and how many of
+those milliseconds detection takes back.  A least-outstanding
+comparison row quantifies how much of the problem queue-depth dispatch
+hides on its own (it is an implicit -- and weaker -- gray-failure
+mitigation), and a drift-catalog section exercises each drift shape
+(linear wear, step, intermittent stutter, thermal sawtooth) against
+the detector.
+
+Determinism: drift and detection consume zero RNG state, tracing is
+hash-sampled, and the grid fans across workers with ``pmap`` -- the
+rendered result and its payload digest are byte-identical for a fixed
+seed, serial or ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.balancer import ClusterSimulator, Dispatch, RetryPolicy
+from repro.experiments.availability import _TRACE_LENGTH, _WORKLOAD, _setups
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.faults.failslow import (
+    AdaptiveTimeoutPolicy,
+    DetectionPolicy,
+    FailSlowInjection,
+    FailSlowPlan,
+    LinearDrift,
+    SawtoothDrift,
+    SlowResource,
+    StepDrift,
+    StutterDrift,
+)
+from repro.flashcache.analysis import disk_configuration
+from repro.memsim.remote_memory import make_remote_memory_model
+from repro.obs.critical_path import COMPONENT_ORDER, attribute_critical_path
+from repro.obs.export import trace_digest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.perf.parallel import intra_jobs, merge_telemetry, pmap
+from repro.workloads.suite import make_workload
+
+#: The headline gray failure: one node 10x slower on every dimension.
+SLOW_FACTOR = 10.0
+SLOW_SERVER = 0
+
+#: Static worst-case per-attempt timeout the adaptive policy replaces.
+STATIC_RETRY = RetryPolicy(
+    timeout_ms=1000.0, max_retries=3, backoff_base_ms=20.0
+)
+
+#: Detection knobs for every ``detected`` run (module-level so tests and
+#: the CI smoke assert against exactly what the experiment uses).
+DETECTION = DetectionPolicy(adaptive_timeout=AdaptiveTimeoutPolicy())
+
+#: Drift-catalog shapes, each degrading every resource dimension of the
+#: slow node.  Onsets sit inside the measured window so the catalog also
+#: reports time-to-ejection from drift onset.
+DRIFT_CATALOG: Dict[str, object] = {
+    "step": StepDrift(SLOW_FACTOR, at_ms=2000.0),
+    "linear": LinearDrift(peak=SLOW_FACTOR, onset_ms=2000.0, ramp_ms=6000.0),
+    "stutter": StutterDrift(
+        factor=SLOW_FACTOR, period_ms=2000.0, burst_ms=800.0,
+        probability=0.6, seed=5, onset_ms=2000.0,
+    ),
+    "sawtooth": SawtoothDrift(peak=SLOW_FACTOR, period_ms=6000.0,
+                              onset_ms=2000.0),
+}
+
+
+def slow_node_plan(
+    factor: float = SLOW_FACTOR, server: int = SLOW_SERVER
+) -> FailSlowPlan:
+    """One node stepping to ``factor`` x on every resource dimension."""
+    return FailSlowPlan(
+        tuple(
+            FailSlowInjection(server, resource, StepDrift(factor))
+            for resource in SlowResource
+        )
+    )
+
+
+def catalog_plan(kind: str, server: int = SLOW_SERVER) -> FailSlowPlan:
+    """One node degraded by the named drift-catalog shape."""
+    drift = DRIFT_CATALOG[kind]
+    return FailSlowPlan(
+        tuple(
+            FailSlowInjection(server, resource, drift)
+            for resource in SlowResource
+        )
+    )
+
+
+@dataclass(frozen=True)
+class FailSlowRunConfig:
+    """One cluster run of the EXT-12 grid (picklable for ``pmap``)."""
+
+    design: str
+    #: "healthy" | "undetected" | "detected"
+    scenario: str
+    #: Drift-catalog shape, or None for the headline 10x step plan.
+    drift_kind: Optional[str] = None
+    dispatch: str = Dispatch.ROUND_ROBIN.value
+    servers: int = 6
+    clients_per_server: int = 6
+    warmup: int = 200
+    measure: int = 1800
+    seed: int = 1
+    sample_rate: float = 1.0
+    trace_seed: int = 17
+    traced: bool = True
+
+
+def run_failslow_config(config: FailSlowRunConfig) -> dict:
+    """Run one scenario; module-level so ``pmap`` can fan the grid out."""
+    setups = {setup.name: setup for setup in _setups()}
+    try:
+        setup = setups[config.design]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown design {config.design!r}; known: {sorted(setups)}"
+        ) from exc
+
+    workload = make_workload(_WORKLOAD)
+    remote = None
+    if setup.uses_remote_memory:
+        remote = make_remote_memory_model(
+            _WORKLOAD, local_fraction=0.25, trace_length=_TRACE_LENGTH
+        )
+    factory = None
+    if setup.uses_flash:
+        disk_config = disk_configuration("remote-laptop+flash")
+        factory = lambda: disk_config.make_disk_model(_WORKLOAD)  # noqa: E731
+
+    plan = None
+    if config.scenario != "healthy":
+        plan = (
+            slow_node_plan()
+            if config.drift_kind is None
+            else catalog_plan(config.drift_kind)
+        )
+    detection = DETECTION if config.scenario == "detected" else None
+
+    tracer = (
+        Tracer(sample_rate=config.sample_rate, seed=config.trace_seed)
+        if config.traced
+        else None
+    )
+    metrics = MetricsRegistry()
+    result = ClusterSimulator(
+        platform=setup.design.platform,
+        workload=workload,
+        servers=config.servers,
+        clients_per_server=config.clients_per_server,
+        dispatch=Dispatch(config.dispatch),
+        seed=config.seed,
+        warmup_requests=config.warmup,
+        measure_requests=config.measure,
+        disk_model_factory=factory,
+        remote_memory=remote,
+        retry=STATIC_RETRY,
+        failslow=plan,
+        failslow_detection=detection,
+        tracer=tracer,
+        metrics=metrics,
+    ).run()
+    return {
+        "config": config,
+        "result": result,
+        "tracer": tracer,
+        "metrics": metrics,
+    }
+
+
+def _p99_components(payload: dict) -> Tuple[float, Dict[str, float]]:
+    """(p99 latency, exclusive component ms of the p99 tail set)."""
+    tracer = payload["tracer"]
+    if tracer is None:
+        return payload["result"].p99_ms, {}
+    attributions = attribute_critical_path(
+        tracer.completed_traces(), percentiles=(0.99,)
+    )
+    if not attributions:
+        return payload["result"].p99_ms, {}
+    attribution = attributions[0]
+    return attribution.latency_ms, dict(attribution.components)
+
+
+def _fmt_ms(value: float) -> str:
+    return f"{value:.1f} ms"
+
+
+def run(
+    servers: int = 6,
+    clients_per_server: int = 6,
+    warmup: int = 200,
+    measure: int = 1800,
+    seed: int = 1,
+    sample_rate: float = 1.0,
+    trace_seed: int = 17,
+    catalog_measure: Optional[int] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
+    """Rerun srvr1/N1/N2 with one 10x-slow node, without and with detection."""
+    catalog_measure = catalog_measure or max(measure // 2, 400)
+    tiers = [setup.name for setup in _setups()]
+    common = dict(
+        servers=servers,
+        clients_per_server=clients_per_server,
+        warmup=warmup,
+        measure=measure,
+        seed=seed,
+        sample_rate=sample_rate,
+        trace_seed=trace_seed,
+    )
+    configs: List[FailSlowRunConfig] = [
+        FailSlowRunConfig(design=tier, scenario=scenario, **common)
+        for tier in tiers
+        for scenario in ("healthy", "undetected", "detected")
+    ]
+    # Implicit-mitigation comparison: the same slow node behind
+    # least-outstanding dispatch (queue depth is a weak health signal).
+    lo_index = len(configs)
+    configs.append(
+        FailSlowRunConfig(
+            design=tiers[0], scenario="undetected",
+            dispatch=Dispatch.LEAST_OUTSTANDING.value, **common,
+        )
+    )
+    # Drift catalog: every shape against the detector, on the base tier.
+    catalog_kinds = sorted(DRIFT_CATALOG)
+    catalog_start = len(configs)
+    configs.extend(
+        FailSlowRunConfig(
+            design=tiers[0], scenario="detected", drift_kind=kind,
+            **{**common, "measure": catalog_measure},
+        )
+        for kind in catalog_kinds
+    )
+
+    payloads = pmap(
+        run_failslow_config,
+        configs,
+        jobs=intra_jobs() if jobs is None else jobs,
+    )
+    by_key = {
+        (p["config"].design, p["config"].scenario, p["config"].drift_kind,
+         p["config"].dispatch): p
+        for p in payloads
+    }
+
+    rr = Dispatch.ROUND_ROBIN.value
+    data: Dict[str, object] = {}
+    sections: Dict[str, str] = {}
+
+    # -- headline: one 10x-slow node per tier --------------------------
+    tier_rows = []
+    recovery_rows = []
+    for tier in tiers:
+        healthy = by_key[(tier, "healthy", None, rr)]
+        undet = by_key[(tier, "undetected", None, rr)]
+        det = by_key[(tier, "detected", None, rr)]
+        h_p99, h_parts = _p99_components(healthy)
+        u_p99, u_parts = _p99_components(undet)
+        d_p99, d_parts = _p99_components(det)
+        inflation = u_p99 / h_p99 if h_p99 > 0 else 0.0
+        gap = u_p99 - h_p99
+        recovered = (u_p99 - d_p99) / gap if gap > 0 else 0.0
+        fs = det["result"].failslow_report
+        tier_rows.append([
+            tier,
+            _fmt_ms(h_p99),
+            _fmt_ms(u_p99),
+            f"{inflation:.2f}x",
+            _fmt_ms(d_p99),
+            percent(recovered),
+            str(fs.ejections),
+            str(fs.requarantines),
+            str(fs.probes),
+            _fmt_ms(fs.ejected_ms.get(SLOW_SERVER, 0.0)),
+        ])
+        # Recovered time by span kind: where the undetected p99 tail
+        # spent its exclusive milliseconds, and how many of them the
+        # detector took back.
+        for kind in COMPONENT_ORDER:
+            u_ms = u_parts.get(kind, 0.0)
+            d_ms = d_parts.get(kind, 0.0)
+            if abs(u_ms) < 0.05 and abs(d_ms) < 0.05:
+                continue
+            recovery_rows.append([
+                tier, kind, _fmt_ms(u_parts.get(kind, 0.0)),
+                _fmt_ms(d_ms), _fmt_ms(u_ms - d_ms),
+            ])
+        data[tier] = {
+            "healthy_p99_ms": h_p99,
+            "undetected_p99_ms": u_p99,
+            "detected_p99_ms": d_p99,
+            "inflation": inflation,
+            "recovered_fraction": recovered,
+            "ejections": fs.ejections,
+            "readmissions": fs.readmissions,
+            "requarantines": fs.requarantines,
+            "probes": fs.probes,
+            "quarantine_bypasses": fs.quarantine_bypasses,
+            "slow_server_ejected_ms": fs.ejected_ms.get(SLOW_SERVER, 0.0),
+            "last_adaptive_timeout_ms": fs.last_adaptive_timeout_ms,
+            "undetected_p99_components_ms": u_parts,
+            "detected_p99_components_ms": d_parts,
+            "trace_digests": {
+                scenario: trace_digest(
+                    [(f"{tier}/{scenario}", payload["tracer"].traces)]
+                )
+                for scenario, payload in (
+                    ("healthy", healthy),
+                    ("undetected", undet),
+                    ("detected", det),
+                )
+                if payload["tracer"] is not None
+            },
+        }
+
+    sections["one 10x-slow node per tier (round-robin dispatch)"] = (
+        format_table(
+            [
+                "Tier", "healthy p99", "undetected p99", "inflation",
+                "detected p99", "recovered", "ejections", "relapses",
+                "probes", "slow node out-of-rotation",
+            ],
+            tier_rows,
+        )
+    )
+    if recovery_rows:
+        sections["p99 critical path: recovered time by span kind"] = (
+            format_table(
+                [
+                    "Tier", "component", "undetected ms", "detected ms",
+                    "recovered ms",
+                ],
+                recovery_rows,
+            )
+        )
+
+    # -- implicit mitigation: least-outstanding dispatch ---------------
+    lo = payloads[lo_index]
+    lo_p99, _ = _p99_components(lo)
+    base = data[tiers[0]]
+    sections["dispatch policy as implicit mitigation (srvr1)"] = format_table(
+        ["Scenario", "p99", "vs healthy"],
+        [
+            ["healthy (round-robin)", _fmt_ms(base["healthy_p99_ms"]), "1.00x"],
+            [
+                "slow node, round-robin, no detection",
+                _fmt_ms(base["undetected_p99_ms"]),
+                f"{base['inflation']:.2f}x",
+            ],
+            [
+                "slow node, least-outstanding, no detection",
+                _fmt_ms(lo_p99),
+                f"{lo_p99 / base['healthy_p99_ms']:.2f}x",
+            ],
+            [
+                "slow node, round-robin + detection",
+                _fmt_ms(base["detected_p99_ms"]),
+                f"{base['detected_p99_ms'] / base['healthy_p99_ms']:.2f}x",
+            ],
+        ],
+    )
+    data["least_outstanding_undetected_p99_ms"] = lo_p99
+
+    # -- drift catalog --------------------------------------------------
+    catalog_rows = []
+    catalog_data: Dict[str, object] = {}
+    for offset, kind in enumerate(catalog_kinds):
+        payload = payloads[catalog_start + offset]
+        fs = payload["result"].failslow_report
+        drift = DRIFT_CATALOG[kind]
+        first_ejection = next(
+            (t.time_ms for t in fs.transitions if t.reason == "ejected"),
+            None,
+        )
+        onset = getattr(drift, "onset_ms", getattr(drift, "at_ms", 0.0))
+        detect_ms = (
+            first_ejection - onset if first_ejection is not None else None
+        )
+        catalog_rows.append([
+            kind,
+            type(drift).__name__,
+            _fmt_ms(payload["result"].p99_ms),
+            str(fs.ejections),
+            str(fs.requarantines),
+            _fmt_ms(detect_ms) if detect_ms is not None else "not ejected",
+        ])
+        catalog_data[kind] = {
+            "p99_ms": payload["result"].p99_ms,
+            "ejections": fs.ejections,
+            "requarantines": fs.requarantines,
+            "readmissions": fs.readmissions,
+            "onset_to_ejection_ms": detect_ms,
+        }
+    sections["drift catalog vs the detector (srvr1, detection on)"] = (
+        format_table(
+            [
+                "Drift", "shape", "p99", "ejections", "relapses",
+                "onset-to-ejection",
+            ],
+            catalog_rows,
+        )
+    )
+    data["drift_catalog"] = catalog_data
+
+    combined = merge_telemetry(p["metrics"] for p in payloads)
+    if combined is not None:
+        data["combined"] = {
+            "timeouts": combined.value("cluster.timeouts"),
+            "retries": combined.value("cluster.retries"),
+            "ejections": combined.value("cluster.failslow.ejections"),
+            "readmissions": combined.value("cluster.failslow.readmissions"),
+            "probes": combined.value("cluster.failslow.probes"),
+        }
+
+    base_name = tiers[0]
+    sections["conclusion"] = (
+        f"a single node serving at {SLOW_FACTOR:.0f}x -- while passing "
+        f"every fail-stop health check -- inflates {base_name}'s cluster "
+        f"p99 by {data[base_name]['inflation']:.2f}x behind a "
+        "health-blind dispatcher, because ~1/N of requests eat the slow "
+        "path.  Peer-comparison scoring spots the outlier against the "
+        "fleet median, ejects it, and keeps it on probation probes, "
+        f"recovering {percent(data[base_name]['recovered_fraction'])} of "
+        "the inflation at zero hardware cost; the attribution table "
+        "shows the recovered milliseconds coming off the slow node's "
+        "cpu/disk/net spans and the timeout-retry waits it caused.  "
+        "Least-outstanding dispatch alone hides only part of the "
+        "problem (queue depth is an indirect, lagging health signal).  "
+        "This is Hamilton's modular-datacenter argument in miniature: "
+        "commodity fleets keep their cost advantage only if the service "
+        "layer -- not the hardware -- owns gray-failure detection and "
+        "recovery."
+    )
+    data["workload"] = _WORKLOAD
+    data["slow_factor"] = SLOW_FACTOR
+    data["retry_timeout_ms"] = STATIC_RETRY.timeout_ms
+    data["sample_rate"] = sample_rate
+    data["trace_seed"] = trace_seed
+    return ExperimentResult(
+        experiment_id="EXT-12",
+        title="Fail-slow gray failures: peer-comparison detection",
+        paper_reference="section 3.6 ensembles, one fail-slow node",
+        sections=sections,
+        data=data,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI / CI entry: ``python -m repro.experiments.failslow --smoke``.
+
+    Smoke mode runs the seeded mini grid (base tier only, untraced) and
+    asserts the two EXT-12 acceptance properties: the undetected slow
+    node inflates p99 at least 2x in the shortened run, and detection
+    closes at least half of the gap.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro-failslow")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="shrunk seeded run with pass/fail acceptance checks",
+    )
+    parser.add_argument("--measure", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    if not args.smoke:
+        result = run(
+            measure=args.measure or 1800,
+            jobs=args.jobs if args.jobs > 0 else None,
+        )
+        print(result.render())
+        return 0
+
+    measure = args.measure or 900
+    tier = _setups()[0].name
+    runs = {
+        scenario: run_failslow_config(
+            FailSlowRunConfig(
+                design=tier, scenario=scenario, measure=measure,
+                traced=False,
+            )
+        )["result"]
+        for scenario in ("healthy", "undetected", "detected")
+    }
+    h, u, d = (runs[s].p99_ms for s in ("healthy", "undetected", "detected"))
+    gap = u - h
+    closed = (u - d) / gap if gap > 0 else 0.0
+    fs = runs["detected"].failslow_report
+    print(
+        f"failslow smoke [{tier}, measure={measure}]: healthy p99 "
+        f"{h:.1f} ms, undetected {u:.1f} ms ({u / h:.2f}x), detected "
+        f"{d:.1f} ms; gap closed {closed:.0%}; ejections={fs.ejections} "
+        f"relapses={fs.requarantines} probes={fs.probes}"
+    )
+    failures = []
+    if u < 2.0 * h:
+        failures.append(
+            f"undetected inflation {u / h:.2f}x < 2x acceptance floor"
+        )
+    if closed < 0.5:
+        failures.append(f"detection closed {closed:.0%} < 50% of p99 gap")
+    if fs.ejections < 1:
+        failures.append("detector never ejected the slow node")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK: detection closed >=50% of the p99 gap")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    import sys
+
+    sys.exit(main())

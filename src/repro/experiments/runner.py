@@ -29,6 +29,7 @@ from repro.experiments import (
     availability,
     blade_contention,
     diurnal,
+    failslow,
     figure1,
     figure2,
     figure3,
@@ -74,6 +75,7 @@ _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "availability": availability.run,
     "overload": overload.run,
     "trace_attribution": trace_attribution.run,
+    "failslow": failslow.run,
 }
 
 #: Experiments that accept a ``method`` keyword (DES vs analytic).

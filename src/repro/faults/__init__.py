@@ -14,6 +14,11 @@ availability is priced in:
   fault-event injection into the discrete-event simulator, plus
   :class:`FailureDomain` for correlated failures (one memory-blade or
   enclosure fault degrading every attached server at once).
+- :mod:`~repro.faults.failslow` -- *gray* failures: drift processes
+  that degrade individual servers' CPU/NIC/remote-memory/flash service
+  times continuously (:class:`FailSlowPlan`), and the deterministic
+  peer-comparison detector (:class:`PeerComparisonDetector`) that
+  scores, ejects, probes, and re-admits them at the balancer level.
 
 Consumers: :class:`repro.cluster.balancer.ClusterSimulator` (health
 checks, retries, hedging, degraded modes),
@@ -35,6 +40,22 @@ from repro.faults.injector import (
     FaultEvent,
     FaultInjector,
 )
+from repro.faults.failslow import (
+    AdaptiveTimeoutPolicy,
+    DetectionPolicy,
+    DriftTable,
+    FailSlowInjection,
+    FailSlowPlan,
+    FailSlowReport,
+    HealthTransition,
+    LinearDrift,
+    PeerComparisonDetector,
+    SawtoothDrift,
+    ServerHealth,
+    SlowResource,
+    StepDrift,
+    StutterDrift,
+)
 
 __all__ = [
     "ComponentType",
@@ -46,4 +67,18 @@ __all__ = [
     "FaultComponent",
     "FaultEvent",
     "FaultInjector",
+    "AdaptiveTimeoutPolicy",
+    "DetectionPolicy",
+    "DriftTable",
+    "FailSlowInjection",
+    "FailSlowPlan",
+    "FailSlowReport",
+    "HealthTransition",
+    "LinearDrift",
+    "PeerComparisonDetector",
+    "SawtoothDrift",
+    "ServerHealth",
+    "SlowResource",
+    "StepDrift",
+    "StutterDrift",
 ]

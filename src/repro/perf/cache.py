@@ -97,22 +97,49 @@ class ResultCache:
             return None
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` (atomic rename, best effort)."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+        """Store ``value`` under ``key``, crash-safely and best-effort.
+
+        The entry is pickled to a per-process temp file, fsync'd, and
+        atomically renamed into place: a crash (or a concurrent writer)
+        at any point leaves either the old entry or the new one, never a
+        truncated pickle a later :meth:`get` would have to repair.  A
+        failed write (full or read-only disk) cleans up its temp file
+        and is swallowed -- the cache is an accelerator, not a
+        dependency, so the caller's results must never be lost to a
+        cache-write error.
+        """
         path = self._path(key)
         tmp = path.with_suffix(f".tmp{os.getpid()}")
-        with open(tmp, "wb") as handle:
-            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry; returns the number removed.
+
+        Also sweeps orphaned ``*.tmp<pid>`` files left by writers that
+        died between creating the temp file and renaming it.
+        """
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.pickle"):
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for path in self.directory.glob("*.tmp*"):
+                try:
+                    path.unlink()
                 except OSError:
                     pass
         return removed

@@ -24,7 +24,9 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.perf.cache import ResultCache
@@ -89,12 +91,37 @@ def pmap(fn: Callable[[T], R], items: Sequence[T], jobs: int = 1) -> List[R]:
     picklable (module-level functions; no closures).  Runs inline when
     parallelism cannot help or is unsafe (``jobs <= 1``, a single item,
     or already inside a worker).
+
+    A pool worker that *dies* mid-item (OOM kill, segfault in a C
+    extension, ``os._exit``) breaks the whole pool: every in-flight and
+    queued future raises :class:`BrokenProcessPool` even though their
+    items were never at fault.  Rather than losing the entire run to one
+    bad worker, the affected items are recomputed serially in the parent
+    -- once -- behind a :class:`RuntimeWarning`.  Exceptions *raised* by
+    ``fn`` are not retried; they propagate exactly as in the serial path.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1 or _IN_WORKER:
         return [fn(item) for item in items]
+    results: List[Any] = [None] * len(items)
+    lost: List[int] = []
     with _pool(min(jobs, len(items))) as executor:
-        return list(executor.map(fn, items))
+        futures = [executor.submit(fn, item) for item in items]
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                lost.append(index)
+    if lost:
+        warnings.warn(
+            f"a process-pool worker died; recomputing {len(lost)} of "
+            f"{len(items)} shards serially in the parent",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for index in lost:
+            results[index] = fn(items[index])
+    return results
 
 
 def _run_named(task: Tuple[str, str, Dict[str, Any]]):

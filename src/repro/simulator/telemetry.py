@@ -12,7 +12,25 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple, Tuple
+
+
+class HistogramSnapshot(NamedTuple):
+    """Frozen bucket state of a :class:`LatencyHistogram` at one instant.
+
+    Taken with :meth:`LatencyHistogram.snapshot` and consumed by
+    :meth:`LatencyHistogram.since` to answer windowed queries ("p95 of
+    the samples recorded since the last evaluation") off one cumulative
+    histogram -- the pattern the fail-slow peer-comparison detector uses
+    so per-server latency state lives in exactly one accumulator.  A
+    NamedTuple rather than a frozen dataclass: snapshots are taken on
+    the detector's evaluation path, and frozen-dataclass construction
+    pays an ``object.__setattr__`` per field.
+    """
+
+    counts: Tuple[int, ...]
+    total: int
+    sum_ms: float
 
 
 class LatencyHistogram:
@@ -42,6 +60,10 @@ class LatencyHistogram:
         self._total = 0
         self._sum = 0.0
         self._max = 0.0
+        # Highest populated bucket index (-1 when empty): lets windowed
+        # percentile queries walk down from the occupied top instead of
+        # up through the whole bucket range.
+        self._hi = -1
 
     def _bucket(self, value_ms: float) -> int:
         if value_ms <= self._min:
@@ -59,12 +81,25 @@ class LatencyHistogram:
         return (low, low * math.exp(self._log_growth))
 
     def record(self, value_ms: float) -> None:
+        # The per-sample hot path (every traced attempt and every
+        # fail-slow observation lands here): ``_bucket`` is inlined and
+        # the branches replace ``min``/``max`` calls.
         if value_ms < 0:
             raise ValueError("latency must be >= 0")
-        self._counts[self._bucket(value_ms)] += 1
+        if value_ms <= self._min:
+            index = 0
+        else:
+            index = int(math.log(value_ms / self._min) / self._log_growth) + 1
+            last = self._bucket_count - 1
+            if index > last:
+                index = last
+        self._counts[index] += 1
+        if index > self._hi:
+            self._hi = index
         self._total += 1
         self._sum += value_ms
-        self._max = max(self._max, value_ms)
+        if value_ms > self._max:
+            self._max = value_ms
 
     @property
     def count(self) -> int:
@@ -103,7 +138,85 @@ class LatencyHistogram:
         self._total += other._total
         self._sum += other._sum
         self._max = max(self._max, other._max)
+        self._hi = max(self._hi, other._hi)
         return self
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Frozen copy of the current bucket state (for :meth:`since`)."""
+        return HistogramSnapshot(
+            counts=tuple(self._counts), total=self._total, sum_ms=self._sum
+        )
+
+    def since(self, snapshot: HistogramSnapshot) -> "LatencyHistogram":
+        """The window of samples recorded after ``snapshot`` was taken.
+
+        Returns a new histogram holding exactly the per-bucket count
+        difference, so windowed percentiles come from one cumulative
+        accumulator instead of a second reset-on-read copy.  The window's
+        ``max_ms`` is inherited from the cumulative histogram (an upper
+        bound -- the true window maximum is not recoverable from bucket
+        counts), which only matters for the overflow bucket's percentile
+        clamp.  Raises when ``snapshot`` came from a histogram with a
+        different bucket layout or a later state than ``self``.
+        """
+        if len(snapshot.counts) != self._bucket_count:
+            raise ValueError("snapshot has a different bucket layout")
+        window = LatencyHistogram.__new__(LatencyHistogram)
+        window._min = self._min
+        window._log_growth = self._log_growth
+        window._bucket_count = self._bucket_count
+        deltas = [0] * self._bucket_count
+        for index, (now, then) in enumerate(zip(self._counts, snapshot.counts)):
+            delta = now - then
+            if delta < 0:
+                raise ValueError("snapshot is newer than the histogram")
+            deltas[index] = delta
+        window._counts = deltas
+        window._total = self._total - snapshot.total
+        window._sum = self._sum - snapshot.sum_ms
+        window._max = self._max
+        window._hi = self._hi
+        return window
+
+    def percentile_since(
+        self, snapshot: HistogramSnapshot, percentile: float
+    ) -> float:
+        """``since(snapshot).percentile_ms(percentile)``, allocation-free.
+
+        The fail-slow detector scores every server's fresh window once
+        per evaluation interval; materialising a full delta histogram
+        per server per tick dominated its overhead budget.  This walks
+        bucket-count deltas *downward from the highest populated
+        bucket*, so a high percentile is found within the few occupied
+        top buckets instead of a pass over the whole bucket range.
+        Same empty-window and layout-mismatch errors, and the same
+        inherited-``max_ms`` clamp, as the two-step spelling.
+        """
+        if not 0 < percentile <= 1:
+            raise ValueError("percentile must be in (0, 1]")
+        if len(snapshot.counts) != self._bucket_count:
+            raise ValueError("snapshot has a different bucket layout")
+        total = self._total - snapshot.total
+        if total < 0:
+            raise ValueError("snapshot is newer than the histogram")
+        if total == 0:
+            raise ValueError("histogram is empty")
+        # Bucket B holds the percentile sample iff cum(0..B-1) < target
+        # <= cum(0..B); equivalently B is the highest bucket whose
+        # suffix sum reaches total - target + 1, which the descending
+        # walk finds first.
+        target = math.ceil(percentile * total)
+        need = total - target + 1
+        counts = self._counts
+        then = snapshot.counts
+        seen = 0
+        for index in range(self._hi, -1, -1):
+            seen += counts[index] - then[index]
+            if seen >= need:
+                if index == self._bucket_count - 1:
+                    return self._max
+                return min(self.bucket_bounds(index)[1], self._max)
+        return self._max  # pragma: no cover - defensive
 
     _NO_DEFAULT = object()
 

@@ -85,7 +85,7 @@ class TestRunner:
             "figure4", "table3", "figure5", "sensitivity",
             "ablation", "scaleout", "diurnal", "validation", "future",
             "power", "contention", "latency", "heterogeneous",
-            "availability", "overload", "trace_attribution",
+            "availability", "overload", "trace_attribution", "failslow",
         }
 
     def test_run_experiment_by_name(self):

@@ -39,6 +39,34 @@ class TestPmap:
         assert pmap(_square, [], jobs=4) == []
 
 
+def _die_on_three(x):
+    # Kill the worker process outright (not an exception): in the
+    # parent, in_worker() is False, so the serial retry just computes.
+    if x == 3 and in_worker():
+        import os
+
+        os._exit(1)
+    return x * x
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x * x
+
+
+class TestPmapWorkerCrash:
+    def test_dead_worker_items_are_recomputed_serially(self):
+        items = list(range(6))
+        with pytest.warns(RuntimeWarning, match="worker died"):
+            results = pmap(_die_on_three, items, jobs=2)
+        assert results == [x * x for x in items]
+
+    def test_fn_exceptions_propagate_without_retry(self):
+        with pytest.raises(ValueError, match="three is right out"):
+            pmap(_raise_on_three, list(range(6)), jobs=2)
+
+
 class TestIntraJobs:
     def test_set_and_read(self):
         try:

@@ -245,3 +245,49 @@ class TestTimeSeriesMerge:
     def test_merge_rejects_other_types(self):
         with pytest.raises(TypeError):
             TimeSeries(bucket_ms=100.0).merge(LatencyHistogram())
+
+
+class TestPercentileSince:
+    """The allocation-free windowed percentile must equal the reference
+    path (materialize the window with since(), then percentile_ms)."""
+
+    def test_matches_since_then_percentile(self):
+        hist = LatencyHistogram()
+        for value in (1.0, 5.0, 9.0):
+            hist.record(value)
+        snap = hist.snapshot()
+        for value in (2.0, 40.0, 40.0, 400.0, 0.3):
+            hist.record(value)
+        for percentile in (0.05, 0.5, 0.9, 0.95, 1.0):
+            assert hist.percentile_since(snap, percentile) == (
+                hist.since(snap).percentile_ms(percentile)
+            )
+
+    def test_empty_window_raises_like_reference(self):
+        hist = LatencyHistogram()
+        hist.record(3.0)
+        snap = hist.snapshot()
+        with pytest.raises(ValueError):
+            hist.percentile_since(snap, 0.95)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        before=st.lists(
+            st.floats(min_value=0.01, max_value=1e5), max_size=30
+        ),
+        after=st.lists(
+            st.floats(min_value=0.01, max_value=1e5),
+            min_size=1, max_size=30,
+        ),
+        percentile=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_equivalence_property(self, before, after, percentile):
+        hist = LatencyHistogram()
+        for value in before:
+            hist.record(value)
+        snap = hist.snapshot()
+        for value in after:
+            hist.record(value)
+        assert hist.percentile_since(snap, percentile) == (
+            hist.since(snap).percentile_ms(percentile)
+        )
