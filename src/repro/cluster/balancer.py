@@ -75,8 +75,14 @@ from repro.faults.failslow import (
     FailSlowReport,
     PeerComparisonDetector,
 )
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import FaultInjector, schedule_maintenance
 from repro.faults.model import ComponentType, FaultProfile
+from repro.faults.recovery import (
+    MaintenancePlan,
+    RecoveryOrchestrator,
+    RecoveryReport,
+    RedundancyConfig,
+)
 from repro.memsim.remote_memory import RemoteMemoryModel
 from repro.obs.span import SpanKind, Trace
 from repro.obs.tracer import record_stage, record_stage_parts
@@ -218,6 +224,10 @@ class ClusterResult:
     #: neither a :class:`~repro.faults.failslow.FailSlowPlan` nor a
     #: :class:`~repro.faults.failslow.DetectionPolicy`).
     failslow_report: Optional[FailSlowReport] = None
+    #: Redundancy/failover/rebuild and maintenance-drain summary (None
+    #: when the run used neither a :class:`RedundancyConfig` nor a
+    #: :class:`MaintenancePlan`).
+    recovery_report: Optional[RecoveryReport] = None
 
     @property
     def imbalance(self) -> float:
@@ -233,13 +243,17 @@ class ClusterResult:
         Excludes :attr:`failslow_report` -- the detector's own
         bookkeeping (evaluation counts, scores) necessarily differs
         between detection-on and detection-off runs even when the
-        *served request stream* is identical.  Everything the workload
-        can observe (latencies, completions, fault/overload counters)
-        is covered, so this is the equality the zero-RNG guarantee
-        promises: on a healthy fleet, enabling scoring and ejection
-        changes nothing the requests experienced.
+        *served request stream* is identical -- and
+        :attr:`recovery_report` for the same reason: the redundancy
+        layer's audit and rebuild accounting exists only when enabled,
+        while on a healthy fleet the served stream is bit-identical
+        with redundancy on or off.  Everything the workload can observe
+        (latencies, completions, fault/overload counters) is covered,
+        so this is the equality the zero-RNG guarantee promises: on a
+        healthy fleet, enabling scoring/ejection or replica/parity
+        placement changes nothing the requests experienced.
         """
-        payload = replace(self, failslow_report=None)
+        payload = replace(self, failslow_report=None, recovery_report=None)
         return hashlib.sha256(
             pickle.dumps(payload, protocol=4)
         ).hexdigest()
@@ -299,7 +313,7 @@ class _Server:
     __slots__ = (
         "index", "cpu", "mem", "disk", "nic", "disk_model", "outstanding",
         "completions", "up", "epoch", "down_components", "cpu_throttle",
-        "blade_down",
+        "blade_down", "draining",
     )
 
     def __init__(
@@ -325,6 +339,9 @@ class _Server:
         self.cpu_throttle = 1.0
         #: Attached memory blade unavailable (degraded local-only mode).
         self.blade_down = False
+        #: In a maintenance-drain window: stays up (in-flight work
+        #: completes) but receives no new dispatches or hedges.
+        self.draining = False
 
 
 def _scripted_time(label: str, index: int, at_ms: object) -> float:
@@ -374,6 +391,8 @@ class ClusterSimulator:
         metrics=None,
         failslow: Optional[FailSlowPlan] = None,
         failslow_detection: Optional[DetectionPolicy] = None,
+        redundancy: Optional[RedundancyConfig] = None,
+        maintenance: Optional[MaintenancePlan] = None,
     ):
         """``remote_memory`` attaches a shared memory blade: every request
         pays its expected remote-miss traffic on one blade-controller link
@@ -438,7 +457,26 @@ class ClusterSimulator:
         carries an adaptive-timeout sub-policy) the per-attempt timeout
         tracks the fleet's observed percentile instead of the static
         ``retry.timeout_ms``.  Detection requires ``retry`` so that
-        timed-out attempts exist to observe."""
+        timed-out attempts exist to observe.
+
+        ``redundancy`` (a :class:`repro.faults.recovery.RedundancyConfig`)
+        protects the remote working set with replica or parity placement
+        across several enclosure blades behind the shared controller
+        link: a scripted (or injected) blade failure re-routes remote
+        reads to surviving copies instead of dropping to local paging,
+        and repairs trigger background rebuild streams that contend with
+        foreground traffic on the same blade-controller
+        :class:`~repro.simulator.resources.Resource` under the config's
+        :class:`~repro.faults.recovery.RebuildPolicy` throttle.  A
+        ``policy=None`` config keeps today's unprotected degraded mode
+        but still runs the scripted ``blade_faults`` storm.  None of
+        this consumes RNG: with a healthy fleet (or ``redundancy=None``)
+        the request stream is bit-identical either way.
+
+        ``maintenance`` scripts drain windows (e.g. a rolling upgrade):
+        a draining server finishes its in-flight work but receives no
+        new dispatches or hedges, and the gray-failure detector (when
+        present) drops it from the fleet median for the duration."""
         if servers <= 0 or clients_per_server <= 0:
             raise ValueError("servers and clients_per_server must be positive")
         if enclosure_size <= 0:
@@ -509,6 +547,20 @@ class ClusterSimulator:
         self._metrics = metrics
         self._failslow = failslow
         self._failslow_detection = failslow_detection
+        if redundancy is not None and remote_memory is None:
+            raise ValueError(
+                "redundancy protects the remote working set; pass "
+                "remote_memory alongside it"
+            )
+        if maintenance is not None:
+            bad = [w.server for w in maintenance.windows
+                   if not 0 <= w.server < servers]
+            if bad:
+                raise ValueError(
+                    f"maintenance server indices out of range: {bad}"
+                )
+        self._redundancy = redundancy
+        self._maintenance = maintenance
         if failslow is not None:
             # Validate server indices up front (table() re-checks).
             failslow.table(servers)
@@ -529,7 +581,7 @@ class ClusterSimulator:
 
     @staticmethod
     def _alive(servers: List[_Server]) -> List[_Server]:
-        return [s for s in servers if s.up]
+        return [s for s in servers if s.up and not s.draining]
 
     def run(self) -> ClusterResult:
         sim = Simulation()
@@ -580,6 +632,77 @@ class ClusterSimulator:
         )
         blade_state = {"up": True, "down_since": 0.0}
         report = FaultReport()
+
+        # --- redundancy / recovery runtime -----------------------------
+        # The N redundant blades are capacity/fault-domain state behind
+        # the ONE shared blade-controller link above (the paper's single
+        # controller per enclosure): foreground transfers and rebuild
+        # chunks contend on the same Resource.  Healthy runs never enter
+        # the failover branch, so redundancy-on is bit-identical to
+        # redundancy-off until a blade actually fails (zero extra RNG).
+        redundancy = self._redundancy
+        maintenance = self._maintenance
+        recovery: Optional[RecoveryOrchestrator] = None
+        recovery_report: Optional[RecoveryReport] = None
+        if redundancy is not None or (
+            maintenance is not None and maintenance.windows
+        ):
+            recovery_report = RecoveryReport()
+        if redundancy is not None and redundancy.policy is not None:
+            server_ids = [f"server-{i}" for i in range(self._servers)]
+            group = redundancy.build_group(server_ids)
+            recovery = RecoveryOrchestrator(
+                sim, blade, group, redundancy.rebuild,
+                page_latency_us=self._remote_memory.page_latency_us,
+                metrics=metrics, trace=tracer is not None,
+                report=recovery_report,
+            )
+            if detector is not None:
+                index_of = {sid: i for i, sid in enumerate(server_ids)}
+
+                def _impairment(server_id: str, impaired: bool) -> None:
+                    # Failed-over servers paying the data-loss paging
+                    # penalty leave the hedge-routable set.
+                    detector.set_drained(index_of[server_id], impaired)
+
+                recovery.on_impairment = _impairment
+        if redundancy is not None:
+            for fault in redundancy.blade_faults:
+                if recovery is not None:
+                    sim.schedule_at(
+                        fault.fail_ms,
+                        lambda b=fault.blade: recovery.blade_failed(b),
+                    )
+                    if fault.repair_ms is not None:
+                        sim.schedule_at(
+                            fault.repair_ms,
+                            lambda b=fault.blade: recovery.blade_repaired(b),
+                        )
+                else:
+                    # Unprotected arm: the same storm, PR 1 degraded
+                    # semantics -- every attached server drops to
+                    # local-only paging for the outage.
+                    def _unprotected_fail() -> None:
+                        blade_state["up"] = False
+                        blade_state["down_since"] = sim.now
+                        recovery_report.blade_failures += 1
+                        for s in servers:
+                            s.blade_down = True
+
+                    def _unprotected_repair() -> None:
+                        blade_state["up"] = True
+                        down = sim.now - blade_state["down_since"]
+                        report.blade_downtime_ms += down
+                        downtime = recovery_report.blade_downtime_ms
+                        downtime[0] = downtime.get(0, 0.0) + down
+                        recovery_report.blade_repairs += 1
+                        for s in servers:
+                            s.blade_down = False
+
+                    sim.schedule_at(fault.fail_ms, _unprotected_fail)
+                    if fault.repair_ms is not None:
+                        sim.schedule_at(fault.repair_ms, _unprotected_repair)
+
         track_faults = self._faults is not None or bool(self._failures)
         tracker = AvailabilityTracker() if track_faults else None
 
@@ -651,7 +774,37 @@ class ClusterSimulator:
         injector: Optional[FaultInjector] = None
         if self._faults is not None:
             injector = self._inject_faults(
-                sim, servers, blade_state, take_down, bring_up, tracker, report
+                sim, servers, blade_state, take_down, bring_up, tracker,
+                report, recovery,
+            )
+
+        if maintenance is not None and maintenance.windows:
+            drain_started: Dict[int, float] = {}
+
+            def _drain(index: int) -> None:
+                server = servers[index]
+                if server.draining:
+                    return
+                server.draining = True
+                drain_started[index] = sim.now
+                recovery_report.drains += 1
+                if detector is not None:
+                    detector.set_drained(index, True)
+
+            def _restore(index: int) -> None:
+                server = servers[index]
+                if not server.draining:
+                    return
+                server.draining = False
+                recovery_report.drain_ms += sim.now - drain_started.pop(
+                    index, sim.now
+                )
+                if detector is not None:
+                    detector.set_drained(index, False)
+
+            schedule_maintenance(
+                sim, maintenance.windows, _drain, _restore,
+                events=injector.events if injector is not None else None,
             )
 
         qos = QosTracker(profile.qos) if profile.qos else None
@@ -761,10 +914,12 @@ class ClusterSimulator:
                     sim.schedule(HEALTH_RECHECK_MS, lambda: dispatch_request(rs))
                 return
             candidates = alive
-            # Fast path: with nobody ejected (always, on a healthy
-            # fleet) every server is routable and there is nobody to
-            # probe, so the filter below would be a per-request no-op.
-            if detector is not None and detector.ejected_count:
+            # Fast path: with nobody ejected or drained (always, on a
+            # healthy fleet) every server is routable and there is
+            # nobody to probe, so the filter below would be a no-op.
+            if detector is not None and (
+                detector.ejected_count or detector.drained_count
+            ):
                 routable = [
                     s for s in candidates if detector.routable(s.index)
                 ]
@@ -954,12 +1109,41 @@ class ClusterSimulator:
             ) * server.cpu_throttle
             blade_ms = 0.0
             degraded_disk_ms = 0.0
+            failover_profile = None
             if self._remote_memory is not None:
                 cpu_ms += self._remote_memory.trap_cpu_ms(demand)
-                if server.blade_down:
-                    # Blade down: local-memory-only mode.  Capacity
-                    # misses page in from the swap path on the server's
-                    # own disk instead of crossing the (dead) link.
+                if recovery is not None and recovery.active:
+                    # Redundant placement: a blade is down (or being
+                    # rebuilt).  Reads split per the server's current
+                    # service profile -- direct, failed over to
+                    # surviving copies (amplified for parity
+                    # reconstruction), or lost to the swap path.
+                    prof = recovery.profile(server_ids[server.index])
+                    if prof.healthy:
+                        blade_ms = self._remote_memory.link_time_ms(demand)
+                    else:
+                        failover_profile = prof
+                        blade_ms = self._remote_memory.failover_time_ms(
+                            demand,
+                            prof.direct_fraction,
+                            prof.failover_fraction,
+                            prof.amplification,
+                        )
+                        if prof.failover_fraction > 0.0:
+                            recovery_report.failover_requests += 1
+                        if prof.lost_fraction > 0.0:
+                            degraded_disk_ms = (
+                                self._remote_memory.residual_degraded_time_ms(
+                                    demand, prof.lost_fraction
+                                )
+                            )
+                            recovery_report.lossy_requests += 1
+                            report.degraded_requests += 1
+                elif server.blade_down:
+                    # Blade down, unprotected: local-memory-only mode.
+                    # Capacity misses page in from the swap path on the
+                    # server's own disk instead of crossing the (dead)
+                    # link.
                     degraded_disk_ms = self._remote_memory.degraded_time_ms(demand)
                     report.degraded_requests += 1
                 else:
@@ -1050,6 +1234,9 @@ class ClusterSimulator:
                 if attempt.void:
                     return
                 record_outcome(ok=True)
+                if recovery is not None:
+                    # Feed the rebuild throttle's backpressure EWMA.
+                    recovery.observe_foreground(sim.now - dispatched_at)
                 if detector_record is not None:
                     # Wasted completions still score: the attempt's
                     # latency is evidence of the server's speed whether
@@ -1108,6 +1295,21 @@ class ClusterSimulator:
                                 span.annotate(
                                     **self._remote_memory.span_attrs(demand)
                                 )
+                                if failover_profile is not None:
+                                    span.annotate(
+                                        failover=round(
+                                            failover_profile.failover_fraction,
+                                            4,
+                                        ),
+                                        lost=round(
+                                            failover_profile.lost_fraction, 4
+                                        ),
+                                    )
+                                if recovery is not None and recovery.rebuilding:
+                                    # Attribution hook: this transfer
+                                    # shared the link with an active
+                                    # rebuild stream.
+                                    span.annotate(rebuild=True)
                                 cursor[0] = sim.now
                             after_blade()
 
@@ -1236,6 +1438,10 @@ class ClusterSimulator:
                     return
                 attempt.void = True
                 report.timeouts += 1
+                if recovery is not None:
+                    # A timeout is a floor on the foreground latency --
+                    # the strongest backpressure evidence there is.
+                    recovery.observe_foreground(attempt_timeout_ms)
                 if detector_record is not None:
                     # A timeout is a floor on the true latency -- strong
                     # evidence, recorded at the timeout value.
@@ -1292,7 +1498,7 @@ class ClusterSimulator:
                 target = self._pick(others, rr_state, rng)
                 if (
                     detector is not None
-                    and detector.ejected_count
+                    and (detector.ejected_count or detector.drained_count)
                     and not detector.routable(target.index)
                 ):
                     routable = [
@@ -1398,11 +1604,22 @@ class ClusterSimulator:
 
         if not state["done"]:
             raise RuntimeError("cluster simulation ended before measurement")
+        if not blade_state["up"]:
+            down = sim.now - blade_state["down_since"]
+            report.blade_downtime_ms += down
+            blade_state["down_since"] = sim.now
+            if recovery_report is not None and recovery is None:
+                downtime = recovery_report.blade_downtime_ms
+                downtime[0] = downtime.get(0, 0.0) + down
         if tracker is not None:
-            if not blade_state["up"]:
-                report.blade_downtime_ms += sim.now - blade_state["down_since"]
-                blade_state["down_since"] = sim.now
             tracker.finalize(sim.now)
+        if recovery is not None:
+            recovery.finalize(sim.now)
+        if maintenance is not None and maintenance.windows:
+            # Windows still open when measurement ended.
+            for index, since in list(drain_started.items()):
+                recovery_report.drain_ms += sim.now - since
+                drain_started.pop(index)
         if injector is not None:
             report.injected_failures = {
                 ctype.value: count
@@ -1443,7 +1660,18 @@ class ClusterSimulator:
                 cache = getattr(server.disk_model, "cache", None)
                 if cache is not None:
                     cache.export_metrics(metrics, server=server.index)
-        attach_report = track_faults or retry is not None or policy is not None
+        # A recovery run only attaches the fault report when its config
+        # can actually produce fault activity (scripted blade faults or
+        # maintenance drains): attaching an all-zero report to a healthy
+        # protected run would break its digest equality with the
+        # unprotected stream.
+        recovery_activity = (
+            redundancy is not None and bool(redundancy.blade_faults)
+        ) or (maintenance is not None and bool(maintenance.windows))
+        attach_report = (
+            track_faults or retry is not None or policy is not None
+            or recovery_activity
+        )
         return ClusterResult(
             servers=self._servers,
             throughput_rps=throughput,
@@ -1470,6 +1698,7 @@ class ClusterSimulator:
             ),
             overload_report=overload_report,
             failslow_report=failslow_report,
+            recovery_report=recovery_report,
         )
 
     def _inject_faults(
@@ -1481,6 +1710,7 @@ class ClusterSimulator:
         bring_up,
         tracker: Optional[AvailabilityTracker],
         report: FaultReport,
+        recovery: Optional[RecoveryOrchestrator] = None,
     ) -> FaultInjector:
         """Register every hardware component with the fault injector."""
         assert self._faults is not None
@@ -1509,7 +1739,18 @@ class ClusterSimulator:
                     on_repair=disk_model.recover,
                 )
 
-        if self._remote_memory is not None:
+        if self._remote_memory is not None and recovery is not None:
+            # Redundant placement: each blade in the group is its own
+            # fault domain; the orchestrator handles failover routing
+            # and schedules the rebuild when the replacement arrives.
+            for b in range(recovery.group.nblades):
+                injector.register(
+                    f"blade{b}",
+                    ComponentType.MEMORY_BLADE,
+                    on_fail=lambda bb=b: recovery.blade_failed(bb),
+                    on_repair=lambda bb=b: recovery.blade_repaired(bb),
+                )
+        elif self._remote_memory is not None:
             # Correlated domain: one blade fault degrades every attached
             # server at once (local-memory-only mode), and the repair
             # restores them together.

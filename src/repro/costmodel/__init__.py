@@ -32,6 +32,8 @@ from repro.costmodel.catalog import (
 from repro.costmodel.availability import (
     AvailabilityAdjustedTco,
     DEFAULT_INCIDENT_COST_USD,
+    DurabilityAdjustedTco,
+    DurabilityModel,
     RepairCostModel,
     availability_weighted_perf_per_tco,
 )
@@ -57,6 +59,8 @@ __all__ = [
     "system_names",
     "AvailabilityAdjustedTco",
     "DEFAULT_INCIDENT_COST_USD",
+    "DurabilityAdjustedTco",
+    "DurabilityModel",
     "RepairCostModel",
     "availability_weighted_perf_per_tco",
     "DEFAULT_REAL_ESTATE",

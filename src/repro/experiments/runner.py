@@ -40,6 +40,7 @@ from repro.experiments import (
     latency_load,
     overload,
     power_accounting,
+    redundancy,
     scaleout,
     sensitivity,
     table1,
@@ -76,6 +77,7 @@ _EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "overload": overload.run,
     "trace_attribution": trace_attribution.run,
     "failslow": failslow.run,
+    "redundancy": redundancy.run,
 }
 
 #: Experiments that accept a ``method`` keyword (DES vs analytic).

@@ -19,6 +19,10 @@ availability is priced in:
   times continuously (:class:`FailSlowPlan`), and the deterministic
   peer-comparison detector (:class:`PeerComparisonDetector`) that
   scores, ejects, probes, and re-admits them at the balancer level.
+- :mod:`~repro.faults.recovery` -- redundancy configuration, the
+  QoS-throttled rebuild orchestrator (rebuild streams contend with
+  foreground traffic on the shared blade link), and scripted
+  maintenance-drain plans (:class:`MaintenancePlan`).
 
 Consumers: :class:`repro.cluster.balancer.ClusterSimulator` (health
 checks, retries, hedging, degraded modes),
@@ -56,6 +60,18 @@ from repro.faults.failslow import (
     StepDrift,
     StutterDrift,
 )
+# Imported last: recovery pulls in repro.memsim (and, lazily, the
+# cluster overload machinery), so it must not gate the lighter modules.
+from repro.faults.recovery import (
+    BladeFault,
+    MaintenancePlan,
+    MaintenanceWindow,
+    RebuildPolicy,
+    RebuildThrottle,
+    RecoveryOrchestrator,
+    RecoveryReport,
+    RedundancyConfig,
+)
 
 __all__ = [
     "ComponentType",
@@ -81,4 +97,12 @@ __all__ = [
     "SlowResource",
     "StepDrift",
     "StutterDrift",
+    "BladeFault",
+    "MaintenancePlan",
+    "MaintenanceWindow",
+    "RebuildPolicy",
+    "RebuildThrottle",
+    "RecoveryOrchestrator",
+    "RecoveryReport",
+    "RedundancyConfig",
 ]

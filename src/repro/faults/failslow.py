@@ -461,6 +461,9 @@ class FailSlowReport:
     #: Dispatches that ignored quarantine because no routable server
     #: remained (availability beats ejection).
     quarantine_bypasses: int = 0
+    #: Servers marked drained from outside the detector (maintenance
+    #: windows, redundancy failover with data loss).
+    drain_marks: int = 0
     #: Full transition log in simulated-time order.
     transitions: List[HealthTransition] = field(default_factory=list)
     #: Total out-of-rotation time per server (quarantine + probation).
@@ -529,6 +532,13 @@ class PeerComparisonDetector:
         #: while 0 -- always, on a healthy fleet -- routability
         #: filtering and probe routing are skipped entirely.
         self.ejected_count = 0
+        #: Servers marked unroutable from outside the detector:
+        #: maintenance drains and failed-over servers paying the
+        #: data-loss paging penalty.  Same fast-path contract as
+        #: ``ejected_count`` -- the balancer checks the counter before
+        #: filtering, so a run without drains costs nothing extra.
+        self.drained_count = 0
+        self._drained = [False] * servers
         # Fleet-wide sample total below which the next evaluation
         # cannot possibly score any window (see evaluate()'s gate).
         self._gate_total = 0
@@ -544,8 +554,30 @@ class PeerComparisonDetector:
         return self._health[server]
 
     def routable(self, server: int) -> bool:
-        """May regular (non-probe) traffic go to this server?"""
-        return self._health[server] is ServerHealth.ACTIVE
+        """May regular (non-probe) traffic go to this server?
+
+        False while quarantined/probation *or* externally drained
+        (maintenance window, or failed over with unrecoverable pages) --
+        so hedge redirects never land on a node that is being drained.
+        """
+        return (
+            self._health[server] is ServerHealth.ACTIVE
+            and not self._drained[server]
+        )
+
+    def set_drained(self, server: int, drained: bool) -> None:
+        """Mark a server drained (maintenance / failed-over) or restored.
+
+        Idempotent; drained servers are excluded from routing, probe
+        selection, and the fleet median (a draining node's latencies
+        must not drag the baseline the healthy fleet is scored against).
+        """
+        if self._drained[server] == drained:
+            return
+        self._drained[server] = drained
+        self.drained_count += 1 if drained else -1
+        if drained:
+            self.report.drain_marks += 1
 
     def take_probe(self) -> Optional[int]:
         """A probation server owed a probe request, or None.
@@ -558,6 +590,7 @@ class PeerComparisonDetector:
             if (
                 self._health[index] is ServerHealth.PROBATION
                 and self._probe_credit[index] > 0
+                and not self._drained[index]
             ):
                 self._probe_credit[index] -= 1
                 self.report.probes += 1
@@ -604,6 +637,7 @@ class PeerComparisonDetector:
             for index, score in enumerate(self._score)
             if score is not None
             and self._health[index] is ServerHealth.ACTIVE
+            and not self._drained[index]
         )
         if not scores:
             return None

@@ -168,3 +168,46 @@ class FaultInjector:
     @property
     def total_failures(self) -> int:
         return sum(self.failure_counts.values())
+
+
+def schedule_maintenance(
+    sim: "Simulation",
+    windows,
+    on_drain: Callable[[int], None],
+    on_restore: Callable[[int], None],
+    events: Optional[List[FaultEvent]] = None,
+) -> List[FailureDomain]:
+    """Script maintenance drains through correlated failure domains.
+
+    ``windows`` is an iterable of
+    :class:`repro.faults.recovery.MaintenanceWindow`-shaped objects
+    (``server``/``start_ms``/``duration_ms``); each becomes its own
+    :class:`FailureDomain` whose degrade/restore pair fires at the
+    scripted times -- the same blast-radius mechanism stochastic shared
+    faults use, but with zero RNG consumed, so a maintenance plan
+    (e.g. a rolling upgrade) never perturbs the request stream's seeded
+    draws.  ``events``, when given, receives ``"drain"``/``"restore"``
+    :class:`FaultEvent` records alongside the injector's own.
+    """
+    domains: List[FailureDomain] = []
+    for window in windows:
+        domain = FailureDomain(f"maintenance/server{window.server}")
+        domain.attach(
+            lambda i=window.server: on_drain(i),
+            lambda i=window.server: on_restore(i),
+        )
+
+        def drain(domain=domain, window=window) -> None:
+            domain.degrade_all()
+            if events is not None:
+                events.append(FaultEvent(sim.now, domain.name, "drain"))
+
+        def restore(domain=domain, window=window) -> None:
+            domain.restore_all()
+            if events is not None:
+                events.append(FaultEvent(sim.now, domain.name, "restore"))
+
+        sim.schedule_at(window.start_ms, drain)
+        sim.schedule_at(window.end_ms, restore)
+        domains.append(domain)
+    return domains

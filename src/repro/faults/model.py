@@ -116,6 +116,11 @@ class FaultProfile:
 
         Independent components in series: the product of their
         steady-state availabilities (the classic RBD series formula).
+        An *empty* chain is the multiplicative identity, 1.0 -- a path
+        that crosses no fallible component is always up -- and a
+        component with no spec contributes 1.0 the same way.  A zero or
+        negative MTTR cannot appear here: :class:`FaultSpec` rejects it
+        at construction, so every factor is strictly in (0, 1).
         """
         product = 1.0
         for component in components:

@@ -25,6 +25,9 @@ This package reproduces the paper's evaluation:
   memory (section 4 architectural enhancement).
 - :mod:`~repro.memsim.ensemble` -- stochastic ensemble-provisioning
   study: why per-server peak sizing overprovisions.
+- :mod:`~repro.memsim.redundancy` -- replica and parity (k+1 XOR) page
+  placement across several enclosure blades, with blade-down failover,
+  rebuild worklists, and page-conservation audits.
 """
 
 from repro.memsim.trace import (
@@ -61,6 +64,13 @@ from repro.memsim.sharing import (
 from repro.memsim.dma import DmaDirectModel
 from repro.memsim.ensemble import MemoryDemandModel, ProvisioningStudy
 from repro.memsim.remote_memory import RemoteMemoryModel, make_remote_memory_model
+from repro.memsim.redundancy import (
+    BladeGroup,
+    RedundancyAudit,
+    RedundancyPolicy,
+    ServiceProfile,
+    auto_blade_group,
+)
 
 __all__ = [
     "PageTraceSpec",
@@ -94,4 +104,9 @@ __all__ = [
     "ProvisioningStudy",
     "RemoteMemoryModel",
     "make_remote_memory_model",
+    "BladeGroup",
+    "RedundancyAudit",
+    "RedundancyPolicy",
+    "ServiceProfile",
+    "auto_blade_group",
 ]

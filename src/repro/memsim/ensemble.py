@@ -118,6 +118,46 @@ class ProvisioningStudy:
         ensemble = self.ensemble_provisioned_gb(overflow_tolerance)
         return 1.0 - ensemble / per_server
 
+    def redundant_ensemble_provisioned_gb(
+        self,
+        capacity_overhead: float,
+        overflow_tolerance: float = 0.01,
+    ) -> float:
+        """Ensemble provisioning with the blade slice bought redundantly.
+
+        Redundancy multiplies only the *shared blade* capacity -- local
+        DRAM stays unreplicated (a server loss takes its local working
+        set with it either way; the blade is the shared-fate resource
+        worth protecting).  ``capacity_overhead`` is raw/usable from
+        :class:`~repro.memsim.redundancy.RedundancyPolicy`
+        (``.capacity_overhead``): 2.0 for 2-replica, (k+1)/k for k+1
+        parity, 1.0 for unprotected.
+        """
+        if capacity_overhead < 1.0:
+            raise ValueError("capacity overhead must be >= 1.0")
+        total = self.ensemble_provisioned_gb(overflow_tolerance)
+        local_total = self.servers * self.local_gb_per_server
+        blade = max(0.0, total - local_total)
+        return local_total + blade * capacity_overhead
+
+    def redundant_savings(
+        self,
+        capacity_overhead: float,
+        overflow_tolerance: float = 0.01,
+    ) -> float:
+        """DRAM saved vs per-server peak, after paying for redundancy.
+
+        The paper's headline savings shrink once the blade is bought
+        ``capacity_overhead`` times over; this can go negative when the
+        redundant blade outweighs the statistical-multiplexing win --
+        the break-even EXT-13's durability-adjusted TCO table prices.
+        """
+        per_server = self.per_server_provisioned_gb()
+        redundant = self.redundant_ensemble_provisioned_gb(
+            capacity_overhead, overflow_tolerance
+        )
+        return 1.0 - redundant / per_server
+
     def overflow_rate(self, provisioned_gb: float) -> float:
         """Fraction of time steps whose aggregate demand exceeds capacity."""
         if provisioned_gb < 0:

@@ -107,6 +107,36 @@ class RemoteMemoryModel:
             self.misses_per_request(demand) * self.degraded_miss_latency_us / 1000.0
         )
 
+    def failover_time_ms(
+        self,
+        demand: ResourceDemand,
+        direct_fraction: float,
+        failover_fraction: float,
+        amplification: float,
+    ) -> float:
+        """Link transfer time with part of the page set failed over.
+
+        ``direct_fraction`` of misses pay the normal per-page transfer;
+        ``failover_fraction`` are served from surviving replicas or
+        reconstructed stripes at ``amplification`` transfers per page
+        (1.0 for a replica read, k for a k+1 parity reconstruction).
+        All of it still crosses the shared blade-controller link.
+        """
+        return self.link_time_ms(demand) * (
+            direct_fraction + failover_fraction * amplification
+        )
+
+    def residual_degraded_time_ms(
+        self, demand: ResourceDemand, lost_fraction: float
+    ) -> float:
+        """Swap-path penalty for the unrecoverable slice of the page set.
+
+        Pages whose every replica is gone behave exactly like the
+        blade-down mode of :meth:`degraded_time_ms`, scaled down to the
+        lost fraction; the rest of the working set stays remote.
+        """
+        return self.degraded_time_ms(demand) * lost_fraction
+
 
 def make_remote_memory_model(
     workload_name: str,

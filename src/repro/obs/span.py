@@ -44,6 +44,10 @@ class SpanKind:
     NET = "net"
     RETRY = "retry"
     SHED = "shed"
+    #: Background redundancy-rebuild traffic on a shared link (kept out
+    #: of COMPONENTS: rebuild streams are not request time; foreground
+    #: spans delayed by rebuild carry a ``rebuild=True`` attribute).
+    REBUILD = "rebuild"
 
     #: Component kinds a critical-path table reports time against.
     COMPONENTS = (QUEUE, CPU, MEM, REMOTE_MEM, FLASH, DISK, NET, RETRY)

@@ -63,6 +63,13 @@ TRACE_OVERHEAD_LIMIT = 1.05
 #: plus one windowed evaluation per ``eval_interval_ms``).
 FAILSLOW_OVERHEAD_LIMIT = 1.05
 
+#: Fail ``--check`` when carrying a healthy redundant blade group costs
+#: more than this ratio of the same run without redundancy (the
+#: ``repro.faults.recovery`` budget: one ``recovery.active`` flag check
+#: per remote-memory request plus one latency EWMA update per
+#: completion; placement/rebuild bookkeeping only runs during faults).
+REBUILD_OVERHEAD_LIMIT = 1.05
+
 #: The headline metric's path into the results document.
 HEADLINE = ("engine_churn", "events_per_sec")
 
@@ -479,6 +486,94 @@ def _failslow_section(quick: bool) -> Dict[str, Dict[str, float]]:
     }
 
 
+def _rebuild_section(quick: bool) -> Dict[str, Dict[str, float]]:
+    """Cost of carrying a healthy redundant blade group on the hot path.
+
+    Interleaves redundancy-off runs with 2-replica runs of the *same
+    healthy fleet* (no blade faults, so the recovery orchestrator's
+    ``active`` flag stays False throughout) and reports their CPU-time
+    ratio.  The two runs are first asserted bit-identical via
+    ``stream_digest`` -- redundancy consumes no RNG and, while clean,
+    the balancer takes the exact unprotected service-time branch -- so
+    the ratio measures pure carrying cost: the per-request flag check,
+    the per-completion latency EWMA feeding the rebuild throttle's
+    backpressure gate, and the one-time group placement/populate.
+
+    Same min-of-pairs estimator as :func:`_failslow_section`, for the
+    same reason: an absolute 1.05x budget must reject ambient machine
+    noise harder than a relative gate, and taking the minimum ratio
+    over interleaved pairs under-reports on a loud machine instead of
+    flaking.
+    """
+    from repro.cluster.balancer import ClusterSimulator
+    from repro.faults.recovery import RedundancyConfig
+    from repro.memsim.redundancy import RedundancyPolicy
+    from repro.memsim.remote_memory import make_remote_memory_model
+    from repro.platforms.catalog import platform as platform_by_name
+    from repro.workloads.websearch import make_websearch
+
+    measure = 2400 if quick else 3600
+    reps = 8 if quick else 10
+    platform = platform_by_name("srvr1")
+    workload = make_websearch()
+    remote = make_remote_memory_model(
+        "websearch", local_fraction=0.25, trace_length=50_000
+    )
+    redundancy = RedundancyConfig(
+        policy=RedundancyPolicy.replicated(2), blades=3,
+        pages_per_server=128,
+    )
+
+    def run_once(config):
+        simulator = ClusterSimulator(
+            platform,
+            workload,
+            servers=3,
+            clients_per_server=4,
+            seed=3,
+            warmup_requests=100,
+            measure_requests=measure,
+            remote_memory=remote,
+            redundancy=config,
+        )
+        start = time.process_time()
+        result = simulator.run()
+        return time.process_time() - start, result
+
+    _, result_off = run_once(None)
+    _, result_on = run_once(redundancy)
+    assert result_off.stream_digest() == result_on.stream_digest(), (
+        "healthy redundancy changed the request stream"
+    )
+
+    def one_round():
+        round_off = round_on = round_ratio = float("inf")
+        for _ in range(max(1, reps)):
+            off, _ = run_once(None)
+            on, _ = run_once(redundancy)
+            round_off = min(round_off, off)
+            round_on = min(round_on, on)
+            round_ratio = min(round_ratio, on / off)
+        return round_off, round_on, round_ratio
+
+    best_off, best_on, ratio = one_round()
+    for _ in range(2):
+        if ratio <= 1.0 + (REBUILD_OVERHEAD_LIMIT - 1.0) * 0.6:
+            break
+        round_off, round_on, round_ratio = one_round()
+        best_off = min(best_off, round_off)
+        best_on = min(best_on, round_on)
+        ratio = min(ratio, round_ratio)
+    return {
+        "rebuild_overhead": {
+            "measure_requests": measure,
+            "unprotected_cpu_s": round(best_off, 4),
+            "redundancy_on_cpu_s": round(best_on, 4),
+            "overhead_ratio": round(ratio, 4),
+        }
+    }
+
+
 def _kernels_section(quick: bool) -> Dict[str, Dict[str, float]]:
     """The single-pass trace kernels vs their scalar oracles.
 
@@ -643,6 +738,7 @@ def run_benchmarks(quick: bool = True, e2e: bool = False, jobs: int = 1) -> dict
     results.update(_cluster_section(quick))
     results.update(_trace_overhead_section(quick))
     results.update(_failslow_section(quick))
+    results.update(_rebuild_section(quick))
     results.update(_kernels_section(quick))
     if e2e:
         results.update(_e2e_section(jobs))
@@ -710,6 +806,16 @@ def check_regression(current: dict, baseline: dict) -> List[str]:
             failures.append(
                 f"fail-slow detection overhead too high: {ratio:.3f}x vs "
                 f"limit {FAILSLOW_OVERHEAD_LIMIT:.2f}x of the undetected path"
+            )
+    # Carrying a healthy redundant blade group gates identically: while
+    # no blade is down the recovery layer may not cost more than
+    # REBUILD_OVERHEAD_LIMIT of the unprotected run.
+    if baseline.get("results", {}).get("rebuild_overhead") is not None:
+        ratio = current["results"]["rebuild_overhead"]["overhead_ratio"]
+        if ratio > REBUILD_OVERHEAD_LIMIT:
+            failures.append(
+                f"healthy-redundancy overhead too high: {ratio:.3f}x vs "
+                f"limit {REBUILD_OVERHEAD_LIMIT:.2f}x of the unprotected path"
             )
     return failures
 

@@ -86,6 +86,7 @@ class TestRunner:
             "ablation", "scaleout", "diurnal", "validation", "future",
             "power", "contention", "latency", "heterogeneous",
             "availability", "overload", "trace_attribution", "failslow",
+            "redundancy",
         }
 
     def test_run_experiment_by_name(self):

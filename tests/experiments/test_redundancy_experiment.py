@@ -1,0 +1,62 @@
+"""EXT-13 grid: parallel fan-out must be invisible in the results."""
+
+from repro.experiments.redundancy import (
+    RedundancyRunConfig,
+    run_redundancy_config,
+)
+from repro.perf.parallel import pmap
+
+
+def _grid():
+    # One config per arm, shrunk to smoke size and untraced so the
+    # whole grid runs in seconds.
+    arms = [
+        ("baseline", "unprotected"),
+        ("healthy", "replica"),
+        ("storm", "replica"),
+        ("storm", "unprotected"),
+        ("rolling", "replica"),
+    ]
+    return [
+        RedundancyRunConfig(
+            scenario=scenario,
+            policy=policy,
+            servers=3,
+            clients_per_server=4,
+            warmup=50,
+            measure=300,
+            traced=False,
+        )
+        for scenario, policy in arms
+    ]
+
+
+class TestParallelDeterminism:
+    def test_jobs4_matches_serial_byte_for_byte(self):
+        serial = [run_redundancy_config(config) for config in _grid()]
+        fanned = pmap(run_redundancy_config, _grid(), jobs=4)
+        assert [p["result"].stream_digest() for p in serial] == [
+            p["result"].stream_digest() for p in fanned
+        ]
+        # The full result objects (recovery reports included) match
+        # too, not just the request stream.
+        assert [p["result"] for p in serial] == [
+            p["result"] for p in fanned
+        ]
+
+    def test_healthy_protection_matches_baseline_stream(self):
+        grid = _grid()
+        baseline = run_redundancy_config(grid[0])
+        healthy = run_redundancy_config(grid[1])
+        assert (
+            baseline["result"].stream_digest()
+            == healthy["result"].stream_digest()
+        )
+
+    def test_storm_arm_rebuilds_without_loss(self):
+        payload = run_redundancy_config(_grid()[2])
+        report = payload["result"].recovery_report
+        assert report.blade_failures >= 1
+        assert report.pages_rebuilt > 0
+        assert report.audit.conserved
+        assert not report.data_loss

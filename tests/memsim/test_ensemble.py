@@ -84,3 +84,33 @@ class TestProvisioningStudy:
             study.ensemble_provisioned_gb(overflow_tolerance=0.0)
         with pytest.raises(ValueError):
             study.overflow_rate(-1.0)
+
+
+class TestRedundantProvisioning:
+    def test_overhead_one_is_the_plain_ensemble(self, study):
+        assert study.redundant_ensemble_provisioned_gb(1.0) == (
+            study.ensemble_provisioned_gb()
+        )
+        assert study.redundant_savings(1.0) == study.savings()
+
+    def test_overhead_multiplies_only_the_blade_slice(self, study):
+        total = study.ensemble_provisioned_gb()
+        local = study.servers * study.local_gb_per_server
+        blade = total - local
+        expected = local + blade * 2.0
+        assert study.redundant_ensemble_provisioned_gb(2.0) == (
+            pytest.approx(expected)
+        )
+
+    def test_savings_shrink_with_overhead(self, study):
+        plain = study.redundant_savings(1.0)
+        replica = study.redundant_savings(2.0)
+        parity = study.redundant_savings(1.25)
+        assert replica < parity < plain
+        # Buying the blade many times over must eventually cost more
+        # DRAM than statistical multiplexing saves.
+        assert study.redundant_savings(8.0) < 0.0
+
+    def test_invalid_overhead_rejected(self, study):
+        with pytest.raises(ValueError):
+            study.redundant_ensemble_provisioned_gb(0.9)
