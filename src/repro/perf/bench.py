@@ -22,15 +22,20 @@ the repository's performance trajectory is tracked across PRs:
   scalar LRU replays) and *flash_replay* (one flash hit curve answering
   a 12-device flash-sizing curve vs 12 ``FlashCache`` replays).  Both
   assert bit-identical counters before timing is reported.
+- **sharded_engine** -- the sharded/vectorized rack engine
+  (:mod:`repro.perf.sharded`) against its in-run scalar oracle:
+  events/sec through the cohort kernels, speedup over event-at-a-time,
+  a bitwise digest match, and the hybrid fast path's p50/p99 error.
 - **e2e** (``--e2e``) -- cold vs warm-cache wall-clock of the full
   experiment sweep through :func:`repro.perf.parallel.run_experiments`.
 
 ``--check BASELINE`` compares the headline engine metric -- and, when
-the baseline carries them, the kernel speedups -- against a committed
-baseline and fails on >30% regression.  Every gate uses a *speedup over
-an in-run scalar/legacy reference* -- a machine-independent ratio --
-rather than absolute rates, so CI hosts of different speeds share one
-baseline.
+the baseline carries them, the kernel and sharded-engine speedups, the
+``schedule_batch`` parity floor, and the sharded correctness invariants
+(digest match, hybrid tolerance) -- against a committed baseline and
+fails on >30% regression.  Every gate uses a *speedup over an in-run
+scalar/legacy reference* -- a machine-independent ratio -- rather than
+absolute rates, so CI hosts of different speeds share one baseline.
 """
 
 from __future__ import annotations
@@ -69,6 +74,19 @@ FAILSLOW_OVERHEAD_LIMIT = 1.05
 #: per remote-memory request plus one latency EWMA update per
 #: completion; placement/rebuild bookkeeping only runs during faults).
 REBUILD_OVERHEAD_LIMIT = 1.05
+
+#: Fail ``--check`` when ``schedule_batch`` falls below parity with the
+#: per-entry legacy loop (in-run ratio, machine-independent).  Guards
+#: the mixed-load staging heuristic: bulk loads must never be slower
+#: than not batching at all.  Slightly under 1.0 to absorb timer noise
+#: at --quick iteration counts.
+ENGINE_BATCH_PARITY_FLOOR = 0.9
+
+#: Fail ``--check`` when the vectorized cohort engine drops below this
+#: speedup over its in-run scalar oracle (the sharded_engine section's
+#: acceptance floor; the committed full-scale baseline runs well above
+#: it).
+SHARDED_SPEEDUP_FLOOR = 3.0
 
 #: The headline metric's path into the results document.
 HEADLINE = ("engine_churn", "events_per_sec")
@@ -177,12 +195,16 @@ def _bench_timer_churn(sim_factory, requests: int) -> float:
 
 
 def _bench_batch(sim_factory, events: int) -> float:
-    """Events/sec for bulk-loading then draining ``events`` entries.
+    """Events/sec for bulk-loading ``events`` entries into an empty heap.
 
-    Delays are scattered (a Weyl sequence), matching the realistic case
-    -- an initial client population with random think times -- where
-    per-entry ``heappush`` pays its full log cost and the single
-    ``heapify`` of ``schedule_batch`` is linear.
+    Only the scheduling phase is timed: the drain that follows is the
+    same work for either loading strategy (the resulting heaps hold the
+    same entries), so timing it too just buries the load-path signal in
+    drain noise — at --quick scales the gated parity ratio became a
+    coin flip.  Delays are scattered (a Weyl sequence), matching the
+    realistic case -- an initial client population with random think
+    times -- where per-entry ``heappush`` pays its full log cost and
+    the single ``heapify`` of ``schedule_batch`` is linear.
     """
     sim = sim_factory()
     sink = [0]
@@ -200,8 +222,9 @@ def _bench_batch(sim_factory, events: int) -> float:
     else:
         for delay, callback in pairs:
             sim.schedule(delay, callback)
-    sim.run()
     elapsed = time.perf_counter() - start
+    sim.run()
+    assert sink[0] == events
     return events / elapsed
 
 
@@ -210,7 +233,10 @@ def _best_of(fn: Callable[[], float], repeats: int) -> float:
 
 
 def _engine_section(quick: bool) -> Dict[str, Dict[str, float]]:
-    repeats = 1 if quick else 3
+    # Best-of-3 even in quick mode: a single ~30ms timing makes the
+    # gated speedup ratios noise-dominated, and the extra repeats cost
+    # well under a second at quick-mode scales.
+    repeats = 3
     ping_n = 20_000 if quick else 200_000
     churn_n = 8_000 if quick else 60_000
     batch_n = 20_000 if quick else 200_000
@@ -702,6 +728,67 @@ def _kernels_section(quick: bool) -> Dict[str, Dict[str, float]]:
     }
 
 
+def _sharded_section(quick: bool) -> Dict[str, Dict[str, float]]:
+    """The sharded/vectorized rack engine against its scalar oracle.
+
+    One rack scenario runs three ways on identical variate arrays: the
+    event-at-a-time scalar oracle, the vectorized cohort engine (the
+    timed headline -- ``events_per_sec`` counts the logical DES events
+    the cohorts replace: arrival, completion, and deadline-timer
+    resolution per admitted request, one per drop), and the calibrated
+    hybrid.  Bit-stability is asserted in-run (``digest_match``) and the
+    hybrid's p50/p99 must land within :data:`~repro.perf.sharded.
+    HYBRID_TOLERANCE` of the cohort run, so a reported speedup can never
+    come from a wrong answer.
+    """
+    from repro.perf.sharded import HYBRID_TOLERANCE, RackScenario, run_rack
+
+    repeats = 1 if quick else 3
+    scenario = RackScenario(
+        servers_per_cell=8,
+        cells=2 if quick else 4,
+        rate_rps=2000.0,
+        service_ms=0.4,
+        duration_ms=2000.0 if quick else 4000.0,
+        window_ms=200.0,
+        deadline_ms=8.0,
+        seed=2,
+    )
+
+    def timed(mode: str) -> Tuple[float, object]:
+        best = math.inf
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_rack(scenario, mode=mode)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+        return best, result
+
+    scalar_s, scalar = timed("scalar")
+    cohort_s, cohort = timed("cohort")
+    hybrid_s, hybrid = timed("hybrid")
+    p50_err = abs(hybrid.p50_ms - cohort.p50_ms) / cohort.p50_ms
+    p99_err = abs(hybrid.p99_ms - cohort.p99_ms) / cohort.p99_ms
+    return {
+        "sharded_engine": {
+            "events": cohort.events,
+            "events_per_sec": round(cohort.events / cohort_s, 1),
+            "scalar_events_per_sec": round(scalar.events / scalar_s, 1),
+            "speedup_vs_scalar": round(scalar_s / cohort_s, 3),
+            "digest_match": scalar.digest == cohort.digest,
+            "hybrid_events_per_sec": round(hybrid.events / hybrid_s, 1),
+            "hybrid_p50_err": round(p50_err, 4),
+            "hybrid_p99_err": round(p99_err, 4),
+            "hybrid_within_tolerance": max(p50_err, p99_err)
+            <= HYBRID_TOLERANCE,
+            "calibration_error": round(hybrid.calibration_error, 4),
+            "windows_analytic": hybrid.windows_analytic,
+            "windows_vector": hybrid.windows_vector,
+        }
+    }
+
+
 def _e2e_section(jobs: int) -> Dict[str, Dict[str, float]]:
     """Cold vs warm-cache wall-clock of the full experiment sweep."""
     import tempfile
@@ -740,6 +827,7 @@ def run_benchmarks(quick: bool = True, e2e: bool = False, jobs: int = 1) -> dict
     results.update(_failslow_section(quick))
     results.update(_rebuild_section(quick))
     results.update(_kernels_section(quick))
+    results.update(_sharded_section(quick))
     if e2e:
         results.update(_e2e_section(jobs))
     return {
@@ -816,6 +904,45 @@ def check_regression(current: dict, baseline: dict) -> List[str]:
             failures.append(
                 f"healthy-redundancy overhead too high: {ratio:.3f}x vs "
                 f"limit {REBUILD_OVERHEAD_LIMIT:.2f}x of the unprotected path"
+            )
+    # Bulk loading must stay at (near) parity with the per-entry legacy
+    # loop: the staged-batch heuristic exists precisely because a naive
+    # heapify-always schedule_batch was *slower* than not batching.
+    if baseline.get("results", {}).get("engine_batch") is not None:
+        ratio = current["results"]["engine_batch"]["speedup_vs_legacy"]
+        if ratio < ENGINE_BATCH_PARITY_FLOOR:
+            failures.append(
+                f"schedule_batch below parity with per-entry scheduling: "
+                f"{ratio:.2f}x vs floor {ENGINE_BATCH_PARITY_FLOOR:.2f}x"
+            )
+    # The sharded engine gates on three in-run, machine-independent
+    # invariants: the cohort engine must stay >= SHARDED_SPEEDUP_FLOOR
+    # over its scalar oracle (and within REGRESSION_TOLERANCE of the
+    # baseline's ratio), the scalar-vs-cohort digests must match
+    # bitwise, and the hybrid fast path must stay within its calibrated
+    # tolerance of the full DES.
+    if baseline.get("results", {}).get("sharded_engine") is not None:
+        section = current["results"]["sharded_engine"]
+        base_ratio = baseline["results"]["sharded_engine"]["speedup_vs_scalar"]
+        sharded_floor = max(
+            SHARDED_SPEEDUP_FLOOR, base_ratio * (1.0 - REGRESSION_TOLERANCE)
+        )
+        if section["speedup_vs_scalar"] < sharded_floor:
+            failures.append(
+                f"sharded cohort speedup regressed: "
+                f"{section['speedup_vs_scalar']:.2f}x vs baseline "
+                f"{base_ratio:.2f}x (floor {sharded_floor:.2f}x)"
+            )
+        if not section["digest_match"]:
+            failures.append(
+                "sharded engine digest mismatch: the vectorized cohort run "
+                "no longer reproduces the scalar oracle bitwise"
+            )
+        if not section["hybrid_within_tolerance"]:
+            failures.append(
+                "hybrid fast path outside calibrated tolerance: p50 err "
+                f"{section['hybrid_p50_err']:.3f}, p99 err "
+                f"{section['hybrid_p99_err']:.3f}"
             )
     return failures
 

@@ -19,13 +19,26 @@ underlying uniform stream:
   draw for draw.  Use it only for a stream with a single consumer (an
   open-loop arrival process), where consumption order trivially matches
   draw order.
+- :func:`exponential_fill` -- a whole window of variates in one call,
+  for the sharded/vectorized engines (:mod:`repro.perf.sharded`): both
+  the cohort kernels and the scalar oracle consume the *same* array, so
+  scalar-vs-vectorized bit-equality does not depend on ``numpy.log``
+  matching ``math.log`` (it does not, in the last ulp).
+- :func:`exponential_block` -- the bulk-generation variant of
+  :func:`exponential_fill`: same uniform stream (one ``random()`` per
+  variate, in draw order), but the log mapping runs vectorized in
+  numpy.  Values may differ from the sequential sampler in the last
+  ulps, so it is only for streams whose *every* consumer reads the
+  returned array (the sharded engines' shared-variate contract).
 """
 
 from __future__ import annotations
 
 import random
 from math import log
-from typing import Callable
+from typing import Callable, List
+
+import numpy as np
 
 
 def exponential_sampler(rng: random.Random) -> Callable[[float], float]:
@@ -43,6 +56,43 @@ def exponential_sampler(rng: random.Random) -> Callable[[float], float]:
         return -_log(1.0 - _random()) / lambd
 
     return sample
+
+
+def exponential_fill(rng: random.Random, count: int, lambd: float) -> List[float]:
+    """``count`` exponential variates, bit-identical to ``count``
+    sequential :func:`exponential_sampler` draws from the same stream.
+
+    The whole point is that vectorized cohort kernels and the scalar
+    event-at-a-time oracle can share ONE variate array: generation stays
+    on the Python side (``math.log``, which is NOT bit-identical to
+    ``numpy.log`` in the last ulp), so whichever engine consumes the
+    array sees exactly the values ``rng.expovariate(lambd)`` would have
+    produced, in draw order.  Wrap the result in ``numpy.asarray`` for
+    kernel use -- float64 round-trips exactly.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    _random = rng.random
+    _log = log
+    return [-_log(1.0 - _random()) / lambd for _ in range(count)]
+
+
+def exponential_block(rng: random.Random, count: int, lambd: float) -> np.ndarray:
+    """``count`` exponential variates with the log mapping vectorized.
+
+    Consumes exactly the same uniforms, in the same order, as
+    :func:`exponential_fill` -- but maps them through ``numpy.log1p``
+    in one shot instead of ``math.log`` per draw, which roughly halves
+    generation cost on the sharded hot path.  The trade: values can
+    differ from the sequential sampler in the last ulps, so this is
+    safe only where the returned array itself is the reference stream
+    (every engine mode reads this array, nothing re-derives the draws).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    _random = rng.random
+    uniforms = np.asarray([_random() for _ in range(count)], dtype=np.float64)
+    return -np.log1p(-uniforms) / lambd
 
 
 class ExponentialBlock:

@@ -101,6 +101,44 @@ class LatencyHistogram:
         if value_ms > self._max:
             self._max = value_ms
 
+    def record_many(self, values_ms) -> None:
+        """Record a whole array of latencies in one vectorized pass.
+
+        The cohort engines (:mod:`repro.perf.sharded`) produce a
+        window's responses as a numpy array; bucketing them one
+        ``record`` call at a time would hand back much of the kernel
+        speedup.  Bucket indices are computed with ``numpy.log`` --
+        identical to :meth:`record` except for values landing exactly
+        on a bucket edge (measure-zero for continuous latencies); the
+        count/sum/max accumulators are exact.
+        """
+        import numpy as np
+
+        values = np.asarray(values_ms, dtype=np.float64)
+        if values.size == 0:
+            return
+        if values.min() < 0:
+            raise ValueError("latency must be >= 0")
+        index = np.zeros(values.shape, dtype=np.intp)
+        big = values > self._min
+        if big.any():
+            index[big] = (
+                np.log(values[big] / self._min) / self._log_growth
+            ).astype(np.intp) + 1
+            np.clip(index, 0, self._bucket_count - 1, out=index)
+        counts = np.bincount(index, minlength=self._bucket_count)
+        own = self._counts
+        for i in np.nonzero(counts)[0]:
+            own[i] += int(counts[i])
+        hi = int(index.max())
+        if hi > self._hi:
+            self._hi = hi
+        self._total += int(values.size)
+        self._sum += float(values.sum())
+        peak = float(values.max())
+        if peak > self._max:
+            self._max = peak
+
     @property
     def count(self) -> int:
         return self._total
