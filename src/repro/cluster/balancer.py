@@ -393,6 +393,7 @@ class ClusterSimulator:
         failslow_detection: Optional[DetectionPolicy] = None,
         redundancy: Optional[RedundancyConfig] = None,
         maintenance: Optional[MaintenancePlan] = None,
+        engine: str = "scalar",
     ):
         """``remote_memory`` attaches a shared memory blade: every request
         pays its expected remote-miss traffic on one blade-controller link
@@ -476,7 +477,20 @@ class ClusterSimulator:
         ``maintenance`` scripts drain windows (e.g. a rolling upgrade):
         a draining server finishes its in-flight work but receives no
         new dispatches or hedges, and the gray-failure detector (when
-        present) drops it from the fleet median for the duration."""
+        present) drops it from the fleet median for the duration.
+
+        ``engine`` selects the run implementation: ``"scalar"`` (the
+        default) is the per-request callback path; ``"cohort"`` routes
+        eligible open-loop configurations through the vectorized
+        request-lifecycle kernels of
+        :mod:`repro.perf.cluster_kernels`, which produce a bitwise
+        identical :class:`ClusterResult` (``stream_digest()`` equality
+        is a test invariant).  Configurations the kernels do not model
+        (closed-loop mode, tracing, remote memory, faults, redundancy,
+        maintenance drains, non-default disk models) fall back to the
+        scalar path automatically; after :meth:`run`, ``engine_used``
+        names the path taken and ``fallback_reason`` says why a cohort
+        request fell back (``None`` otherwise)."""
         if servers <= 0 or clients_per_server <= 0:
             raise ValueError("servers and clients_per_server must be positive")
         if enclosure_size <= 0:
@@ -561,6 +575,13 @@ class ClusterSimulator:
                 )
         self._redundancy = redundancy
         self._maintenance = maintenance
+        if engine not in ("scalar", "cohort"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self._engine = engine
+        #: Set by :meth:`run`: which engine actually ran.
+        self.engine_used: Optional[str] = None
+        #: Set by :meth:`run` when ``engine="cohort"`` fell back.
+        self.fallback_reason: Optional[str] = None
         if failslow is not None:
             # Validate server indices up front (table() re-checks).
             failslow.table(servers)
@@ -605,6 +626,30 @@ class ClusterSimulator:
         return [s for s in servers if s.up and not s.draining]
 
     def run(self) -> ClusterResult:
+        """Run the simulation on the configured engine.
+
+        ``engine="cohort"`` routes through the vectorized request
+        lifecycle kernels when the configuration is eligible (open loop,
+        no tracing/faults/remote memory/maintenance, default disk
+        model), falling back to the scalar path -- with
+        ``fallback_reason`` set -- otherwise.  Both paths produce the
+        same ``ClusterResult.stream_digest()``.
+        """
+        if self._engine == "cohort":
+            from repro.perf.cluster_kernels import cohort_supported, run_cohort
+
+            ok, reason = cohort_supported(self)
+            if ok:
+                self.engine_used = "cohort"
+                self.fallback_reason = None
+                return run_cohort(self)
+            self.fallback_reason = reason
+        else:
+            self.fallback_reason = None
+        self.engine_used = "scalar"
+        return self._run_scalar()
+
+    def _run_scalar(self) -> ClusterResult:
         sim = Simulation()
         rng = random.Random(self._seed)
         # Stream-identical fast path for rng.expovariate: same values from

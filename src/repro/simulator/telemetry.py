@@ -110,7 +110,10 @@ class LatencyHistogram:
         speedup.  Bucket indices are computed with ``numpy.log`` --
         identical to :meth:`record` except for values landing exactly
         on a bucket edge (measure-zero for continuous latencies); the
-        count/sum/max accumulators are exact.
+        count/max accumulators are exact, and the running sum is
+        accumulated left-to-right (not ``numpy.sum``'s pairwise
+        association) so a batched flush leaves the histogram
+        bit-identical to per-sample :meth:`record` calls.
         """
         import numpy as np
 
@@ -134,7 +137,10 @@ class LatencyHistogram:
         if hi > self._hi:
             self._hi = hi
         self._total += int(values.size)
-        self._sum += float(values.sum())
+        s = self._sum
+        for v in values.tolist():
+            s += v
+        self._sum = s
         peak = float(values.max())
         if peak > self._max:
             self._max = peak

@@ -12,7 +12,7 @@ targets recorded in the workload profile (see DESIGN.md section 3,
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import Callable, List, Optional
 
 from repro.workloads.base import Request, ResourceDemand
 
@@ -21,15 +21,19 @@ _PROBE_SAMPLES = 20_000
 _PROBE_SEED = 20080315  # arbitrary fixed seed; ISCA 2008 vintage
 
 
-def calibrated_sampler(
+def calibration_factors(
     raw_sampler: Callable[[random.Random], Request],
     target: ResourceDemand,
-) -> Callable[[random.Random], Request]:
-    """Wrap ``raw_sampler`` so its mean demand equals ``target``.
+) -> List[float]:
+    """Per-component scale factors making ``raw_sampler``'s mean ``target``.
 
     Components whose raw mean is zero stay zero (you cannot scale nothing
     into something); the workload must emit a structural value for every
-    component it wants calibrated.
+    component it wants calibrated.  Exposed separately from
+    :func:`calibrated_sampler` so a workload can share ONE probe run
+    between its object-building sampler and a fast tuple-returning demand
+    path (:attr:`repro.workloads.base.Workload.fast_demand`) that must
+    apply bitwise-identical factors.
     """
     rng = random.Random(_PROBE_SEED)
     sums = [0.0] * 5
@@ -48,7 +52,22 @@ def calibrated_sampler(
         target.disk_bytes,
         target.net_bytes,
     ]
-    factors = [(t / m if m > 0 else 0.0) for t, m in zip(targets, means)]
+    return [(t / m if m > 0 else 0.0) for t, m in zip(targets, means)]
+
+
+def calibrated_sampler(
+    raw_sampler: Callable[[random.Random], Request],
+    target: ResourceDemand,
+    factors: Optional[List[float]] = None,
+) -> Callable[[random.Random], Request]:
+    """Wrap ``raw_sampler`` so its mean demand equals ``target``.
+
+    ``factors`` (from :func:`calibration_factors`) may be passed in to
+    avoid re-running the probe when the caller also builds a fast demand
+    path from the same factors.
+    """
+    if factors is None:
+        factors = calibration_factors(raw_sampler, target)
 
     def sampler(sample_rng: random.Random) -> Request:
         raw = raw_sampler(sample_rng)

@@ -151,6 +151,17 @@ class Workload:
     ):
         self.profile = profile
         self._sampler = sampler
+        #: Optional fast demand path for the vectorized serving-tier
+        #: engine (:mod:`repro.perf.cluster_kernels`): a callable
+        #: ``fast_demand(rng) -> (cpu_ms_ref, mem_ms_ref, disk_ios,
+        #: disk_bytes, net_bytes, disk_write, cpu_parallelism)`` that
+        #: consumes *exactly* the same draws from ``rng``, in the same
+        #: order, and returns *bitwise* the same component values as
+        #: ``sample(rng).demand`` -- skipping the Request/ResourceDemand
+        #: object construction that dominates sampling cost on the
+        #: cluster hot path.  ``None`` means no fast path; consumers
+        #: must fall back to :meth:`sample`.
+        self.fast_demand: Optional[Callable[[random.Random], tuple]] = None
 
     @property
     def name(self) -> str:

@@ -20,9 +20,11 @@ Structure of one query:
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from bisect import bisect_left
+from math import exp, log, sqrt
+from typing import Callable, List, Tuple
 
-from repro.workloads._calibrate import calibrated_sampler
+from repro.workloads._calibrate import calibrated_sampler, calibration_factors
 from repro.workloads.base import (
     MetricKind,
     PopulationPolicy,
@@ -113,6 +115,124 @@ class _QueryModel:
         )
 
 
+#: Kinderman-Monahan constant from CPython's ``random.normalvariate``.
+_NV_MAGICCONST = 4 * exp(-0.5) / sqrt(2.0)
+
+#: Process-wide posting-weight table ``1.0 / ((rank + 1) ** 0.35)`` for
+#: the fast sampler: the weight is a pure function of the rank, so the
+#: float pow is paid once per process instead of per keyword draw.  The
+#: table entries are computed with exactly the expression used by
+#: :meth:`_QueryModel.__call__`, hence bitwise-identical.
+_PW_TABLE: List[float] = []
+
+
+def _posting_weights(n: int) -> List[float]:
+    if len(_PW_TABLE) < n:
+        _PW_TABLE.extend(
+            1.0 / ((rank + 1) ** 0.35) for rank in range(len(_PW_TABLE), n)
+        )
+    return _PW_TABLE
+
+
+def _fast_demand_sampler(
+    model: _QueryModel, factors: List[float]
+) -> Callable[[random.Random], tuple]:
+    """Tuple-returning query demand path for the cohort cluster engine.
+
+    Replicates :meth:`_QueryModel.__call__` plus the calibration wrapper
+    with every ``random.Random`` method inlined -- the same uniforms, in
+    the same order, producing bitwise-identical component values -- but
+    returns a plain tuple instead of building Request/ResourceDemand
+    objects.  The inlined ``lognormvariate`` is CPython's
+    Kinderman-Monahan rejection loop verbatim (``tests/workloads``
+    asserts value- and state-equality against ``random.Random``).
+    """
+    cdf = model._zipf._cdf
+    top_rank = model._zipf.n - 1
+    cached_terms = model._cached_terms
+    pw_table = _posting_weights(model._zipf.n)
+    # Jump table over the uniform draw: bucket j brackets the bisect of
+    # any u in [j/B, (j+1)/B), shrinking the search from the full 100k
+    # CDF to a handful of entries.  The bounded bisect_left returns the
+    # exact same index as the unbounded one, so sampled ranks (and the
+    # RNG stream) are unchanged.
+    _B = 4096
+    _lo = [0] * _B
+    _hi = [0] * _B
+    for j in range(_B):
+        _lo[j] = bisect_left(cdf, j / _B)
+        _hi[j] = bisect_left(cdf, (j + 1) / _B)
+    kw_weights = model._kw_weights
+    kw_total = sum(kw_weights)
+    acc = 0.0
+    kw_edges = []
+    for w in kw_weights:
+        acc += w
+        kw_edges.append(acc)
+    edge1, edge2, edge3 = kw_edges[0], kw_edges[1], kw_edges[2]
+    f_cpu, f_mem, f_ios, f_dbytes, f_net = factors
+    nv = _NV_MAGICCONST
+    _bisect = bisect_left
+    _exp = exp
+    _log = log
+
+    def sample(rng: random.Random) -> tuple:
+        r = rng.random
+        u = r() * kw_total
+        if u < edge1:
+            keywords = 1
+        elif u < edge2:
+            keywords = 2
+        elif u < edge3:
+            keywords = 3
+        else:
+            keywords = 4
+        cpu = 0.0
+        mem = 0.0
+        ios = 0.0
+        dbytes = 0.0
+        for _ in range(keywords):
+            u = r()
+            # int(u * 4096.0) is exact (power-of-two scale), so the
+            # bracketed bisect returns the unbounded bisect's index.
+            j = int(u * 4096.0)
+            rank = _bisect(cdf, u, _lo[j], _hi[j])
+            if rank > top_rank:
+                rank = top_rank
+            posting_weight = pw_table[rank]
+            while True:  # normalvariate(0, 1) rejection loop
+                u1 = r()
+                u2 = 1.0 - r()
+                z = nv * (u1 - 0.5) / u2
+                if z * z / 4.0 <= -_log(u2):
+                    break
+            work = posting_weight * _exp(z * 0.35)
+            cpu += work
+            mem += work
+            if rank >= cached_terms:
+                ios += 1.0 + r()
+                while True:
+                    u1 = r()
+                    u2 = 1.0 - r()
+                    z = nv * (u1 - 0.5) / u2
+                    if z * z / 4.0 <= -_log(u2):
+                        break
+                dbytes += posting_weight * _exp(z * 0.3)
+        cpu += 0.25 * -_log(1.0 - r())
+        net = 0.5 + 0.5 * -_log(1.0 - r())
+        return (
+            cpu * f_cpu,
+            mem * f_mem,
+            ios * f_ios,
+            dbytes * f_dbytes,
+            net * f_net,
+            False,
+            keywords,
+        )
+
+    return sample
+
+
 def make_websearch() -> Workload:
     """Build the websearch benchmark with calibrated mean demands."""
     profile = WorkloadProfile(
@@ -132,4 +252,8 @@ def make_websearch() -> Workload:
         inorder_ipc_factor=INORDER_IPC,
         stall_fraction=STALL_FRACTION,
     )
-    return Workload(profile, calibrated_sampler(_QueryModel(), MEAN_DEMAND))
+    model = _QueryModel()
+    factors = calibration_factors(model, MEAN_DEMAND)
+    workload = Workload(profile, calibrated_sampler(model, MEAN_DEMAND, factors))
+    workload.fast_demand = _fast_demand_sampler(model, factors)
+    return workload

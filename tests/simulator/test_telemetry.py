@@ -291,3 +291,54 @@ class TestPercentileSince:
         assert hist.percentile_since(snap, percentile) == (
             hist.since(snap).percentile_ms(percentile)
         )
+
+
+class TestRecordManyEquivalence:
+    """A batched flush must be indistinguishable from per-sample record.
+
+    The cohort cluster engine buffers every response latency and flushes
+    once through ``record_many``; the scalar engine records per sample.
+    Metrics-snapshot equality between the two engines rests on this.
+    """
+
+    @staticmethod
+    def _assert_identical(a, b):
+        assert a.count == b.count
+        assert a.mean_ms == b.mean_ms  # bitwise: left-to-right sum
+        assert a.max_ms == b.max_ms
+        assert a.nonzero_buckets() == b.nonzero_buckets()
+        if a.count:
+            for p in (0.5, 0.95, 0.99, 1.0):
+                assert a.percentile_ms(p) == b.percentile_ms(p)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=0, max_size=400
+        ),
+        split=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batched_matches_sequential(self, values, split):
+        sequential = LatencyHistogram()
+        for v in values:
+            sequential.record(v)
+        one_flush = LatencyHistogram()
+        one_flush.record_many(values)
+        chunked = LatencyHistogram()
+        chunked.record_many(values[:split])
+        chunked.record_many(values[split:])
+        self._assert_identical(sequential, one_flush)
+        self._assert_identical(sequential, chunked)
+
+    def test_empty_flush_is_a_noop(self):
+        hist = LatencyHistogram()
+        hist.record(3.0)
+        before = (hist.count, hist.mean_ms, hist.max_ms)
+        hist.record_many([])
+        assert (hist.count, hist.mean_ms, hist.max_ms) == before
+
+    def test_negative_values_rejected(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.record_many([1.0, -0.5])
+        assert hist.count == 0
