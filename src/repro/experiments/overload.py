@@ -33,6 +33,11 @@ import math
 from typing import Dict, Optional
 
 from repro.cluster.balancer import ClusterSimulator, RetryPolicy
+from repro.cluster.capacity import (
+    open_loop_rate_rps,
+    per_server_capacity_rps,
+    surge_queue_cap,
+)
 from repro.cluster.overload import OverloadPolicy, SurgeSchedule
 from repro.costmodel.availability import RepairCostModel
 from repro.costmodel.power import PowerModel
@@ -46,7 +51,6 @@ from repro.experiments.reporting import ExperimentResult, format_table
 from repro.faults.model import DEFAULT_FAULT_PROFILE
 from repro.flashcache.analysis import disk_configuration
 from repro.memsim.remote_memory import make_remote_memory_model
-from repro.simulator.performance import measure_performance
 from repro.simulator.telemetry import TimeSeries
 from repro.workloads.suite import make_workload
 
@@ -115,6 +119,7 @@ def run(
     data: Dict[str, Dict[str, object]] = {}
     surge_rows = []
     activity_rows = []
+    engine_rows = []
     cost_rows = []
     weighted: Dict[str, Dict[str, float]] = {}
 
@@ -131,29 +136,11 @@ def run(
             config = disk_configuration("remote-laptop+flash")
             factory = lambda: config.make_disk_model(_WORKLOAD)  # noqa: E731
             disk_model = config.make_disk_model(_WORKLOAD)
-        # Analytic per-server capacity; with a memory blade, fold the
-        # remote-miss trap handling into the CPU demand and bound the
-        # result by the shared blade link (one link serves the cluster).
-        slowdown = 1.0
-        if remote is not None:
-            mean = workload.mean_demand()
-            profile = workload.profile
-            cpu_ms = plat.cpu_time_ms(
-                mean.cpu_ms_ref,
-                profile.cache_sensitivity,
-                profile.inorder_ipc_factor,
-                profile.stall_fraction,
-            )
-            slowdown = 1.0 + remote.trap_cpu_ms(mean) / cpu_ms
-        capacity = measure_performance(
-            plat, workload, disk_model=disk_model,
-            memory_slowdown=slowdown, method="analytic",
-        ).throughput_rps
-        if remote is not None:
-            link_ms = remote.link_time_ms(workload.mean_demand())
-            if link_ms > 0:
-                capacity = min(capacity, 1000.0 / link_ms / servers)
-        base_rate = load_fraction * capacity * servers
+        capacity = per_server_capacity_rps(
+            plat, workload,
+            remote_memory=remote, disk_model=disk_model, servers=servers,
+        )
+        base_rate = open_loop_rate_rps(load_fraction, capacity, servers)
         schedule = SurgeSchedule(
             base_rate_rps=base_rate,
             surge_multiplier=surge_multiplier,
@@ -172,24 +159,31 @@ def run(
             warmup_ms=warmup_ms,
             measure_ms=measure_ms,
         )
-        # A protected queue holds at most ~half the retry timeout's worth
-        # of work per server, so even a full queue can still meet the
-        # deadline of the request at its tail.
-        queue_cap = max(
-            4, int(capacity * PROTECTED_RETRY.timeout_ms / 1000.0 * 0.5)
-        )
-        results = {
+        queue_cap = surge_queue_cap(capacity, PROTECTED_RETRY.timeout_ms)
+        sims = {
             "naive": ClusterSimulator(
                 retry=NAIVE_RETRY,
                 overload=OverloadPolicy.unprotected(),
+                engine="cohort",
                 **common,
-            ).run(),
+            ),
             "protected": ClusterSimulator(
                 retry=PROTECTED_RETRY,
                 overload=OverloadPolicy(queue_cap=queue_cap),
+                engine="cohort",
                 **common,
-            ).run(),
+            ),
         }
+        results = {mode: sim.run() for mode, sim in sims.items()}
+        for mode, sim in sims.items():
+            engine_rows.append(
+                (
+                    setup.name,
+                    mode,
+                    sim.engine_used,
+                    sim.fallback_reason or "-",
+                )
+            )
         end_ms = warmup_ms + measure_ms
         design_data: Dict[str, object] = {
             "capacity_rps_per_server": capacity,
@@ -237,6 +231,8 @@ def run(
             )
             weighted[setup.name][mode] = metric
             design_data[mode] = {
+                "engine_used": sims[mode].engine_used,
+                "engine_fallback_reason": sims[mode].fallback_reason,
                 "offered_rps": result.offered_rps,
                 "throughput_rps": result.throughput_rps,
                 "goodput_rps": result.goodput_rps,
@@ -326,6 +322,10 @@ def run(
             ["Design", "stack", "timeouts", "retries", "denied", "shed",
              "breaker opens", "brownout"],
             activity_rows,
+        ),
+        "engine selection (cohort requested, scalar on fallback)": format_table(
+            ["Design", "stack", "engine", "fallback reason"],
+            engine_rows,
         ),
         "goodput-weighted Perf/TCO-$ (vs srvr1 protected)": format_table(
             ["Design", "naive", "protected"],

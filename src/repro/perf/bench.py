@@ -75,6 +75,13 @@ FAILSLOW_OVERHEAD_LIMIT = 1.05
 #: completion; placement/rebuild bookkeeping only runs during faults).
 REBUILD_OVERHEAD_LIMIT = 1.05
 
+#: Fail ``--check`` when running a scenario-compiled cluster run costs
+#: more than this ratio of the identical directly-constructed run (the
+#: ``repro.scenario`` budget: spec validation, plan expansion, and
+#: simulator construction are one-time per run and must stay in the
+#: noise next to the run itself).
+SCENARIO_COMPILE_OVERHEAD_LIMIT = 1.05
+
 #: Fail ``--check`` when ``schedule_batch`` falls below parity with the
 #: per-entry legacy loop (in-run ratio, machine-independent).  Guards
 #: the mixed-load staging heuristic: bulk loads must never be slower
@@ -705,6 +712,119 @@ def _rebuild_section(quick: bool) -> Dict[str, Dict[str, float]]:
     }
 
 
+def _scenario_section(quick: bool) -> Dict[str, Dict[str, float]]:
+    """Compile+dispatch cost of the declarative scenario layer.
+
+    Interleaves runs that go spec -> ``compile_scenario`` -> simulator
+    with runs that construct the identical :class:`ClusterSimulator`
+    directly, and reports their CPU-time ratio.  The two paths are
+    first asserted bit-identical (``stream_digest``) -- the compiler's
+    contract is that a scenario is pure notation -- so the ratio
+    measures what the notation costs: builder assembly, aggregated
+    validation, capacity resolution, plan expansion, and kwargs
+    construction, all once per run.  Same min-of-pairs estimator as
+    :func:`_failslow_section`, for the same absolute-budget reason.
+    """
+    from repro.cluster.balancer import ClusterSimulator
+    from repro.cluster.overload import SurgeSchedule
+    from repro.platforms.catalog import platform as platform_by_name
+    from repro.scenario.builder import ScenarioBuilder
+    from repro.scenario.compiler import (
+        _build_cluster_simulator,
+        compile_scenario,
+    )
+    from repro.workloads.websearch import make_websearch
+
+    measure_ms = 2500.0 if quick else 8000.0
+    reps = 6 if quick else 8
+    rate = 300.0
+
+    def build_scenario():
+        return (
+            ScenarioBuilder("bench-compile")
+            .tier("web", platform="srvr1", servers=3)
+            .benchmark("websearch")
+            .open_loop(base_rate_rps=rate, warmup_ms=500.0,
+                       measure_ms=measure_ms)
+            .seed(7)
+            .build()
+        )
+
+    def run_compiled():
+        start = time.process_time()
+        plan = compile_scenario(build_scenario()).plans[0]
+        simulator, _, _ = _build_cluster_simulator(plan)
+        result = simulator.run()
+        return time.process_time() - start, result
+
+    # Both arms share one prebuilt workload, exactly like the hand-wired
+    # experiment modules (and the compiler's own per-process cache) --
+    # the ratio then measures notation cost, not sampler construction.
+    workload = make_websearch()
+
+    def run_direct():
+        start = time.process_time()
+        simulator = ClusterSimulator(
+            platform=platform_by_name("srvr1"),
+            workload=workload,
+            servers=3,
+            clients_per_server=1,
+            seed=7,
+            disk_model_factory=None,
+            remote_memory=None,
+            arrivals=SurgeSchedule(
+                base_rate_rps=rate, surge_multiplier=1.0,
+                surge_start_ms=0.0, surge_end_ms=0.0),
+            warmup_ms=500.0,
+            measure_ms=measure_ms,
+            engine="cohort",
+        )
+        result = simulator.run()
+        return time.process_time() - start, result
+
+    _, result_direct = run_direct()
+    compiled = compile_scenario(build_scenario())
+    simulator, _, _ = _build_cluster_simulator(compiled.plans[0])
+    assert simulator.run().stream_digest() == \
+        result_direct.stream_digest(), (
+            "the scenario compiler no longer reproduces direct "
+            "construction bitwise"
+        )
+    # Warm-cache compile cost (the first compile above paid one-off
+    # workload construction, which both paths amortize identically).
+    compile_start = time.process_time()
+    compile_scenario(build_scenario())
+    compile_s = time.process_time() - compile_start
+
+    def one_round():
+        round_direct = round_compiled = round_ratio = float("inf")
+        for _ in range(max(1, reps)):
+            direct_s, _ = run_direct()
+            compiled_s, _ = run_compiled()
+            round_direct = min(round_direct, direct_s)
+            round_compiled = min(round_compiled, compiled_s)
+            round_ratio = min(round_ratio, compiled_s / direct_s)
+        return round_direct, round_compiled, round_ratio
+
+    best_direct, best_compiled, ratio = one_round()
+    for _ in range(2):
+        if ratio <= 1.0 + (SCENARIO_COMPILE_OVERHEAD_LIMIT - 1.0) * 0.6:
+            break
+        round_direct, round_compiled, round_ratio = one_round()
+        best_direct = min(best_direct, round_direct)
+        best_compiled = min(best_compiled, round_compiled)
+        ratio = min(ratio, round_ratio)
+    return {
+        "scenario_compile": {
+            "simulated_ms": measure_ms,
+            "compile_only_ms": round(compile_s * 1000.0, 2),
+            "direct_cpu_s": round(best_direct, 4),
+            "compiled_cpu_s": round(best_compiled, 4),
+            "overhead_ratio": round(ratio, 4),
+        }
+    }
+
+
 def _kernels_section(quick: bool) -> Dict[str, Dict[str, float]]:
     """The single-pass trace kernels vs their scalar oracles.
 
@@ -936,6 +1056,7 @@ def run_benchmarks(
     results.update(_trace_overhead_section(quick))
     results.update(_failslow_section(quick))
     results.update(_rebuild_section(quick))
+    results.update(_scenario_section(quick))
     results.update(_kernels_section(quick))
     results.update(_sharded_section(quick))
     if suite:
@@ -1016,6 +1137,17 @@ def check_regression(current: dict, baseline: dict) -> List[str]:
             failures.append(
                 f"healthy-redundancy overhead too high: {ratio:.3f}x vs "
                 f"limit {REBUILD_OVERHEAD_LIMIT:.2f}x of the unprotected path"
+            )
+    # The scenario compiler's budget gates identically: a compiled run
+    # may not cost more than SCENARIO_COMPILE_OVERHEAD_LIMIT of the
+    # identical directly-constructed run.
+    if baseline.get("results", {}).get("scenario_compile") is not None:
+        ratio = current["results"]["scenario_compile"]["overhead_ratio"]
+        if ratio > SCENARIO_COMPILE_OVERHEAD_LIMIT:
+            failures.append(
+                f"scenario compile+dispatch overhead too high: {ratio:.3f}x "
+                f"vs limit {SCENARIO_COMPILE_OVERHEAD_LIMIT:.2f}x of direct "
+                "construction"
             )
     # Bulk loading must stay at (near) parity with the per-entry legacy
     # loop: the staged-batch heuristic exists precisely because a naive

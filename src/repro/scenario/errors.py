@@ -1,0 +1,46 @@
+"""Validation errors for the scenario layer.
+
+Every problem found while validating (or decoding) a scenario is a
+:class:`ValidationIssue` carrying the *path* of the offending field in
+the spec tree (``topology.tiers[2].platform``) and a human-readable
+message.  :meth:`repro.scenario.spec.Scenario.validate` aggregates every
+issue instead of stopping at the first; :class:`ScenarioValidationError`
+renders the full list so one run of ``repro-scenario validate`` shows
+everything that needs fixing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem at one path in a scenario spec."""
+
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.message}"
+
+
+class ScenarioValidationError(ValueError):
+    """Raised by ``Scenario.check()`` with *every* validation issue."""
+
+    def __init__(self, issues: Iterable[ValidationIssue]):
+        self.issues: List[ValidationIssue] = list(issues)
+        count = len(self.issues)
+        noun = "issue" if count == 1 else "issues"
+        lines = "\n".join(f"  - {issue}" for issue in self.issues)
+        super().__init__(f"scenario failed validation ({count} {noun}):\n{lines}")
+
+
+def join_path(parent: str, child: str) -> str:
+    """``join_path("topology", "tiers[2]") -> "topology.tiers[2]"``."""
+    if not parent:
+        return child
+    if child.startswith("["):
+        return f"{parent}{child}"
+    return f"{parent}.{child}"

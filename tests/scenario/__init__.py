@@ -1,0 +1,1 @@
+"""Tests for the declarative scenario engine."""

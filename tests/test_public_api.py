@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.perf",
     "repro.validation",
     "repro.experiments",
+    "repro.scenario",
 ]
 
 
